@@ -1,0 +1,30 @@
+# Convenience targets for the Morph reproduction.
+
+PYTHON ?= python
+
+.PHONY: install test bench figures examples all clean
+
+install:
+	pip install -e .
+
+test:
+	$(PYTHON) -m pytest tests/
+
+bench:
+	$(PYTHON) -m pytest benchmarks/ --benchmark-only -s
+
+figures:
+	$(PYTHON) -m repro all
+
+examples:
+	$(PYTHON) examples/quickstart.py
+	$(PYTHON) examples/transcode_deep_dive.py
+	$(PYTHON) examples/service_trace_analysis.py
+	$(PYTHON) examples/fault_tolerance_demo.py
+	$(PYTHON) examples/cluster_lifetime_sim.py
+
+all: test bench
+
+clean:
+	find . -name __pycache__ -type d -exec rm -rf {} +
+	rm -rf .pytest_cache .hypothesis .benchmarks *.egg-info src/*.egg-info

@@ -1,0 +1,24 @@
+"""Shared helpers for the figure-regeneration benchmarks.
+
+Every ``test_fig*`` module regenerates the data behind one figure or
+table of the paper, prints the same rows/series the paper reports, and
+asserts the headline *shape* (who wins, by roughly what factor). Absolute
+numbers differ from the paper's testbed — see EXPERIMENTS.md.
+
+Run with:  pytest benchmarks/ --benchmark-only -s
+"""
+
+import pytest
+
+
+def run_once(benchmark, fn, *args, **kwargs):
+    """Run an experiment driver exactly once under pytest-benchmark."""
+    return benchmark.pedantic(fn, args=args, kwargs=kwargs, rounds=1, iterations=1)
+
+
+@pytest.fixture
+def once(benchmark):
+    def _runner(fn, *args, **kwargs):
+        return run_once(benchmark, fn, *args, **kwargs)
+
+    return _runner

@@ -1,0 +1,151 @@
+"""Ablations of Morph's design decisions (DESIGN.md §5).
+
+Not figures from the paper — these isolate the contribution of each
+mechanism the paper bundles together:
+
+* **placement**: k*-window data separation + parity co-location on/off.
+  Off, CC merges pay network transfers for parities and must relocate
+  colliding data chunks (§5.3's motivation, quantified).
+* **hybrid copy count**: Hy(1) vs Hy(2) vs plain 3-r — the capacity /
+  durability / ingest-IO trade-off surface of §4.1.
+* **CC-friendly parameters**: the §5.2 advisor's suggestion vs naive
+  requested parameters, across a set of plausible application asks.
+* **convertible codes without native transcode**: CC stripes moved by
+  client RRW — shows codes alone don't help without the DFS machinery.
+"""
+
+import numpy as np
+import pytest
+
+from repro.bench.reporting import print_table
+from repro.codes.costmodel import convertible_cost
+from repro.core.advisor import SchemeAdvisor
+from repro.core.schemes import CodeKind, ECScheme, HybridScheme, Replication
+from repro.dfs import MorphFS
+
+KB = 1024
+CC69 = ECScheme(CodeKind.CC, 6, 9)
+CC1215 = ECScheme(CodeKind.CC, 12, 15)
+
+
+def _lifetime_io(transcode_aware: bool, seed: int = 3):
+    fs = MorphFS(chunk_size=4 * KB, future_widths=[6, 12],
+                 transcode_aware=transcode_aware, seed=seed)
+    data = np.random.default_rng(1).integers(0, 256, 192 * KB, dtype=np.uint8)
+    fs.write_file("f", data, HybridScheme(1, CC69))
+    fs.transcode("f", CC69)
+    net0, disk0 = fs.metrics.net_bytes_total, fs.metrics.disk_bytes_total
+    fs.transcode("f", CC1215)
+    out = {
+        "net": fs.metrics.net_bytes_total - net0,
+        "disk": fs.metrics.disk_bytes_total - disk0,
+    }
+    assert np.array_equal(fs.read_file("f"), data)
+    return out
+
+
+def test_ablation_placement(once):
+    """Parity co-location + k* separation vs random placement."""
+    planned = once(_lifetime_io, True)
+    unplanned = _lifetime_io(False)
+    rows = [
+        ("transcode network (KB)", planned["net"] / KB, unplanned["net"] / KB),
+        ("transcode disk IO (KB)", planned["disk"] / KB, unplanned["disk"] / KB),
+    ]
+    print_table("Ablation: transcode-aware placement",
+                ["metric", "planned (Morph)", "unplanned"], rows)
+
+    assert planned["net"] == 0.0            # §5.3: server-local merges
+    assert unplanned["net"] > 0.0
+    assert unplanned["disk"] > planned["disk"]  # chunk relocations
+
+
+def test_ablation_hybrid_copies(once):
+    """Hy(1) vs Hy(2) vs 3-r: ingest IO, capacity, fault tolerance."""
+
+    def run(scheme):
+        fs = MorphFS(chunk_size=4 * KB, future_widths=[6, 12], seed=5)
+        data = np.random.default_rng(2).integers(0, 256, 96 * KB, dtype=np.uint8)
+        fs.write_file("f", data, scheme)
+        return {
+            "disk": fs.metrics.disk_bytes_written / len(data),
+            "capacity": fs.capacity_used() / len(data),
+            "tolerance": scheme.fault_tolerance,
+        }
+
+    results = {
+        "3-r": once(run, Replication(3)),
+        "Hy(1,CC(6,9))": run(HybridScheme(1, CC69)),
+        "Hy(2,CC(6,9))": run(HybridScheme(2, CC69)),
+    }
+    rows = [
+        (name, v["disk"], v["capacity"], v["tolerance"])
+        for name, v in results.items()
+    ]
+    print_table("Ablation: hybrid copy count",
+                ["scheme", "ingest disk (x)", "capacity (x)", "failures tolerated"], rows)
+
+    assert results["Hy(1,CC(6,9))"]["capacity"] == pytest.approx(2.5)
+    assert results["Hy(2,CC(6,9))"]["capacity"] == pytest.approx(3.5)
+    # Hy(1) strictly dominates 3-r: less capacity AND more tolerance.
+    assert results["Hy(1,CC(6,9))"]["capacity"] < results["3-r"]["capacity"]
+    assert results["Hy(1,CC(6,9))"]["tolerance"] > results["3-r"]["tolerance"]
+
+
+def test_ablation_advisor(once):
+    """§5.2 parameter advice vs naive requests."""
+    advisor = SchemeAdvisor()
+    requests = [(6, 3, 27, 3), (6, 3, 11, 3), (8, 4, 20, 4), (5, 3, 13, 3)]
+
+    def evaluate():
+        rows = []
+        for (k_i, r_i, k_f, r_f) in requests:
+            naive = convertible_cost(k_i, r_i, k_f, r_f).disk_io
+            best = advisor.suggest(k_i, r_i, k_f, r_f)
+            rows.append({
+                "request": f"({k_i},{k_i+r_i})->({k_f},{k_f+r_f})",
+                "naive": naive,
+                "advised": best.transcode_io,
+                "suggestion": f"({best.k},{best.n})",
+                "saving": 1 - best.transcode_io / naive,
+            })
+        return rows
+
+    rows = once(evaluate)
+    print_table("Ablation: CC-friendly parameter advice",
+                ["request", "naive IO/byte", "advised IO/byte", "suggested", "saving"],
+                [(r["request"], r["naive"], r["advised"], r["suggestion"],
+                  f"{r['saving']:.0%}") for r in rows])
+
+    for r in rows:
+        assert r["advised"] <= r["naive"] + 1e-9
+    # Non-multiple requests benefit substantially.
+    non_multiples = [r for r in rows if "11" in r["request"] or "13" in r["request"]]
+    assert all(r["saving"] > 0.10 for r in non_multiples)
+
+
+def test_ablation_codes_without_native_transcode(once):
+    """CC stripes moved via client RRW: the codes alone are not enough."""
+
+    def run(native: bool):
+        fs = MorphFS(chunk_size=4 * KB, future_widths=[6, 12], seed=7)
+        data = np.random.default_rng(3).integers(0, 256, 96 * KB, dtype=np.uint8)
+        fs.write_file("f", data, HybridScheme(1, CC69))
+        fs.transcode("f", CC69)
+        disk0 = fs.metrics.disk_bytes_total
+        if native:
+            fs.transcode("f", CC1215)
+        else:
+            from repro.dfs.transcoder import RRWTranscoder
+
+            RRWTranscoder(fs).transcode("f", CC1215)
+        delta = fs.metrics.disk_bytes_total - disk0
+        assert np.array_equal(fs.read_file("f"), data)
+        return delta
+
+    native = once(run, True)
+    rrw = run(False)
+    print(f"\nAblation: CC(6,9)->CC(12,15) via native transcode: {native/KB:.0f} KB disk; "
+          f"same codes via client RRW: {rrw/KB:.0f} KB disk "
+          f"({rrw/native:.1f}x more)")
+    assert rrw >= 2.5 * native  # 96 KB file: 216 vs 72 KB (3.0x)

@@ -1,0 +1,30 @@
+"""Appendix B: probability of a degraded stripe read from Hy(1, CC(k,n)).
+
+Paper: at 1% simultaneous chunk unavailability, a Hy(1, CC(6,9)) read is
+degraded with probability ~0.00009 — "tail-of-the-tail".
+"""
+
+import pytest
+
+from repro.bench import experiments as E
+from repro.core.schemes import degraded_read_probability
+
+
+def test_appendix_b(once):
+    result = once(E.appendix_b)
+    print(f"\nAppendix B: P(degraded read | f=0.01, Hy(1,CC(6,9)))")
+    print(f"  analytic:    {result['analytic']:.2e} (paper: 9e-5)")
+    print(f"  monte carlo: {result['monte_carlo']:.2e} ({result['trials']} trials)")
+
+    assert result["analytic"] == pytest.approx(9e-5, rel=0.15)
+    assert result["monte_carlo"] == pytest.approx(result["analytic"], rel=0.5)
+
+    # The probability falls off steeply with more replicas and more parity.
+    assert degraded_read_probability(0.01, 6, 9, copies=2) < 1e-6
+    table = {
+        (k, n): degraded_read_probability(0.01, k, n)
+        for (k, n) in [(5, 6), (6, 9), (12, 15)]
+    }
+    for (k, n), p in table.items():
+        print(f"  Hy(1,CC({k},{n})): {p:.2e}")
+        assert p < 1.2e-4

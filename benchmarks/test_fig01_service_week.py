@@ -1,0 +1,35 @@
+"""Fig 1: one week of Service A ingest+transcode IO, baseline vs Morph.
+
+Paper: Morph cuts total ingest+transcode IO ~42% and transcode-only IO
+~96% for the largest Google data service.
+"""
+
+import numpy as np
+
+from repro.bench import experiments as E
+from repro.bench.reporting import print_table, series_summary
+
+
+def test_fig01_service_week(once):
+    result = once(E.fig01_service_week)
+    rows = [
+        ("total IO (mean PB/h)",
+         float(np.mean(result["baseline_total"])),
+         float(np.mean(result["morph_total"]))),
+        ("transcode IO (mean PB/h)",
+         float(np.mean(result["baseline_transcode"])),
+         float(np.mean(result["morph_transcode"]))),
+    ]
+    print_table("Fig 1: Service A, one week", ["series", "Current DFS", "Morph"], rows)
+    for label, series in result["baseline_by_flow"].items():
+        s = series_summary(label, series)
+        print(f"  baseline {label:>22}: mean {s['mean']:.3f} PB/h")
+    print(f"\n  total reduction:     {result['total_reduction']:.1%} (paper: ~42%)")
+    print(f"  transcode reduction: {result['transcode_reduction']:.1%} (paper: ~96%)")
+    print(f"  ingest reduction:    {result['ingest_reduction']:.1%} (paper: ~20%)")
+
+    assert 0.35 < result["total_reduction"] < 0.52
+    assert result["transcode_reduction"] > 0.90
+    assert 0.15 < result["ingest_reduction"] < 0.35
+    # Hourly series shape: Morph below baseline every single hour.
+    assert np.all(result["morph_total"] <= result["baseline_total"])

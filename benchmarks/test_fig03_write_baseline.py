@@ -1,0 +1,28 @@
+"""Fig 3: 8 MB create latency and throughput, 3-r vs RS(6,9).
+
+Paper anchors: 3-r p90 ~191 ms; RS(6,9) p90 ~732 ms (~4x); RS throughput
+~68% lower; degraded reads suffer most under RS.
+"""
+
+from repro.bench import experiments as E
+from repro.bench.ascii_plots import cdf_plot
+from repro.bench.reporting import print_table
+
+
+def test_fig03_write_baseline(once):
+    result = once(E.fig03_write_baseline)
+    rows = [
+        (name, v["p50_ms"], v["p90_ms"], v["throughput_mb_s"])
+        for name, v in result.items()
+    ]
+    print_table("Fig 3: 8 MB file creates",
+                ["scheme", "p50 (ms)", "p90 (ms)", "tput (MB/s)"], rows)
+    print(cdf_plot({name: v["cdf"] for name, v in result.items()}))
+    r3, rs = result["3r"], result["RS(6,9)"]
+    print(f"\n  RS/3-r p90 ratio: {rs['p90_ms'] / r3['p90_ms']:.1f}x (paper: ~3.8x)")
+
+    assert 120 < r3["p90_ms"] < 280          # paper: 191 ms
+    assert 500 < rs["p90_ms"] < 1000         # paper: 732 ms
+    assert rs["p90_ms"] > 2.5 * r3["p90_ms"]
+    assert rs["p50_ms"] > 3.0 * r3["p50_ms"]  # paper: ~6x at median
+    assert rs["throughput_mb_s"] < 0.6 * r3["throughput_mb_s"]  # paper: -68%

@@ -1,0 +1,28 @@
+"""Fig 4: millions of file transitions per hour in four storage clusters.
+
+Paper: each of four Google exascale clusters performs millions of
+transcodes per hour, continuously.
+"""
+
+import numpy as np
+
+from repro.bench import experiments as E
+from repro.bench.reporting import print_table
+
+
+def test_fig04_transitions(once):
+    result = once(E.fig04_transitions)
+    rows = [
+        (f"cluster {i}", result["mean_millions"][i], result["peak_millions"][i])
+        for i in range(4)
+    ]
+    print_table("Fig 4: file transitions per hour (millions)",
+                ["cluster", "mean", "peak"], rows)
+
+    assert len(result["clusters"]) == 4
+    for series in result["clusters"]:
+        assert len(series) == result["hours"]
+        assert series.mean() > 1.0    # millions per hour, like the paper
+        assert np.all(series > 0)
+    # Larger clusters transition more.
+    assert result["mean_millions"][0] > result["mean_millions"][3]

@@ -1,0 +1,27 @@
+"""Fig 5: HDD sustained-bandwidth-per-capacity decline, 2014-2024 + HAMR.
+
+Paper: capacity grows ~11.8%/yr vs bandwidth ~5.1%/yr, so bandwidth/TB
+decays ~8.5%/yr; HAMR capacities push the ratio off a cliff.
+"""
+
+from repro.bench import experiments as E
+from repro.bench.reporting import print_table
+
+
+def test_fig05_hdd_trend(once):
+    result = once(E.fig05_hdd_trend)
+    rows = list(zip(result["years"].tolist(),
+                    result["measured_mb_s_per_tb"].tolist()))
+    rows += [
+        (f"{y} (HAMR, speculated)", v)
+        for y, v in zip(result["speculated_years"].tolist(),
+                        result["speculated_mb_s_per_tb"].tolist())
+    ]
+    print_table("Fig 5: HDD MB/s per TB by model year", ["year", "MB/s per TB"], rows)
+    print(f"\n  fitted annual decay: {result['fitted_decay']:.1%} (paper: ~8.5%/yr)")
+
+    measured = result["measured_mb_s_per_tb"]
+    assert measured[0] > 2.5 * measured[-1]  # decade-long decline
+    assert 0.05 < result["fitted_decay"] < 0.12
+    # HAMR points sit below the measured trend's end.
+    assert result["speculated_mb_s_per_tb"].max() < measured[-1]

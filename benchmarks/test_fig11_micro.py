@@ -1,0 +1,48 @@
+"""Fig 11a/b: single-file lifetime microbenchmark on the functional DFS.
+
+Paper (8 GB file, scaled here): baseline ingest+transcode moves 124 GB of
+disk+network (15.5x amplification); Morph moves 54 GB (6.75x) — 58% less
+disk IO, 55% less network IO, 25% lower ingest storage overhead.
+"""
+
+from repro.bench import experiments as E
+from repro.bench.reporting import print_table
+
+MB = 1024 * 1024
+
+
+def test_fig11_micro(once):
+    result = once(E.fig11_micro)
+    file_bytes = result["file_bytes"]
+    rows = []
+    for phase in ("ingest", "to_ec_6_9", "to_ec_12_15"):
+        b = result["baseline"][phase]
+        m = result["morph"][phase]
+        rows.append((
+            phase,
+            (b["disk_read"] + b["disk_write"]) / file_bytes,
+            b["capacity"] / file_bytes,
+            (m["disk_read"] + m["disk_write"]) / file_bytes,
+            m["capacity"] / file_bytes,
+        ))
+    print_table(
+        "Fig 11a/b: cumulative disk IO and capacity (x file size) per phase",
+        ["phase", "base disk", "base cap", "morph disk", "morph cap"], rows)
+    print(f"\n  disk IO reduction:   {result['disk_reduction']:.1%} (paper: 58%)")
+    print(f"  network reduction:   {result['network_reduction']:.1%} (paper: 55%)")
+    print(f"  amplification: {result['baseline_amplification']:.2f}x -> "
+          f"{result['morph_amplification']:.2f}x (paper: 15.5x -> 6.75x)")
+
+    assert result["disk_reduction"] > 0.50
+    assert result["network_reduction"] > 0.45
+    assert 14.0 < result["baseline_amplification"] < 17.0
+    assert 6.0 < result["morph_amplification"] < 8.0
+    # Ingest: Hy(1,CC(6,9)) stores 2.5x vs 3x (150% vs 200% overhead).
+    ingest_b = result["baseline"]["ingest"]["capacity"] / file_bytes
+    ingest_m = result["morph"]["ingest"]["capacity"] / file_bytes
+    assert ingest_b == 3.0
+    assert 2.45 < ingest_m < 2.60
+    # First Morph transition is free: no IO delta between phases.
+    m0, m1 = result["morph"]["ingest"], result["morph"]["to_ec_6_9"]
+    assert m0["disk_read"] == m1["disk_read"]
+    assert m0["disk_write"] == m1["disk_write"]

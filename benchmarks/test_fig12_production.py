@@ -1,0 +1,34 @@
+"""Fig 12: month-long production traces of Services A and B.
+
+Paper: Service A reduces total disk IO 43% (transcode IO 95%); Service B
+reduces total IO 51% with literally zero transcode IO (its single
+transition becomes a replica deletion), at 28% lower ingest overhead.
+"""
+
+from repro.bench import experiments as E
+from repro.bench.reporting import print_table
+
+
+def test_fig12_production(once):
+    result = once(E.fig12_production)
+    rows = [
+        (name,
+         v["baseline_mean_total"],
+         v["morph_mean_total"],
+         f"{v['total_reduction']:.1%}",
+         f"{v['transcode_reduction']:.1%}",
+         f"{v['ingest_reduction']:.1%}")
+        for name, v in result.items()
+    ]
+    print_table("Fig 12: month-long service traces",
+                ["service", "base PB/h", "morph PB/h", "total cut",
+                 "transcode cut", "ingest cut"], rows)
+
+    a, b = result["Service A"], result["Service B"]
+    assert abs(a["total_reduction"] - 0.43) < 0.06      # paper: 43%
+    assert a["transcode_reduction"] > 0.90              # paper: 95%
+    assert abs(b["total_reduction"] - 0.51) < 0.06      # paper: 51%
+    assert b["transcode_reduction"] == 1.0              # paper: zero IO
+    assert abs(b["ingest_reduction"] - 0.28) < 0.05     # paper: 28%
+    # Baseline transcode share sits in the paper's 20-33% band.
+    assert 0.15 < a["baseline_transcode_share"] < 0.35

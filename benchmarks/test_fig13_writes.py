@@ -1,0 +1,53 @@
+"""Fig 13: hybrid write performance vs 3-r and RS.
+
+Paper: (a) hybrid small-write latency within 2% of 3-r, RS ~6x slower at
+the median; (b) hybrid streaming throughput within 1-2% of 3-r and ~6%
+above RS; (c) 95% of async parities persist within 500 ms of the ack.
+"""
+
+from repro.bench import experiments as E
+from repro.bench.ascii_plots import cdf_plot, histogram
+from repro.bench.reporting import print_table
+
+
+def test_fig13a_small_write_latency(once):
+    result = once(E.fig13_write_latency)
+    rows = [(name, v["p50_ms"], v["p90_ms"]) for name, v in result.items()]
+    print_table("Fig 13a: 8 MB write latency", ["scheme", "p50 (ms)", "p90 (ms)"], rows)
+    print(cdf_plot({name: v["cdf"] for name, v in result.items()}))
+
+    r3 = result["3-r"]
+    for hybrid in ("Hy(1,CC(6,9))", "Hy(2,CC(6,9))"):
+        assert abs(result[hybrid]["p50_ms"] / r3["p50_ms"] - 1) < 0.08
+        assert abs(result[hybrid]["p90_ms"] / r3["p90_ms"] - 1) < 0.15
+    assert result["RS(6,9)"]["p50_ms"] > 3 * r3["p50_ms"]
+
+
+def test_fig13b_streaming_write_tput(once):
+    result = once(E.fig13_write_tput)
+    rows = []
+    for t, by_scheme in result.items():
+        for name, tput in by_scheme.items():
+            rows.append((t, name, tput))
+    print_table("Fig 13b: 120 MB streaming-write throughput",
+                ["threads", "scheme", "MB/s"], rows)
+
+    for t, by_scheme in result.items():
+        r3 = by_scheme["3-r"]
+        for hybrid in ("Hy(1,CC(6,9))", "Hy(2,CC(6,9))"):
+            assert abs(by_scheme[hybrid] / r3 - 1) < 0.05  # paper: 1-2%
+        assert by_scheme["RS(6,9)"] < by_scheme["Hy(1,CC(6,9))"]  # paper: -6%
+        assert by_scheme["RS(6,9)"] > 0.65 * by_scheme["Hy(1,CC(6,9))"]
+
+
+def test_fig13c_parity_persist(once):
+    result = once(E.fig13_parity_persist)
+    print(f"\nFig 13c: async parity persist: p50 {result['p50_ms']:.0f} ms, "
+          f"p95 {result['p95_ms']:.0f} ms, "
+          f"{result['fraction_under_500ms']:.1%} under 500 ms (paper: 95%)")
+    import numpy as np
+
+    print(histogram(np.asarray(result["samples"]) * 1e3, bins=12))
+
+    assert result["fraction_under_500ms"] >= 0.90
+    assert result["p95_ms"] < 700

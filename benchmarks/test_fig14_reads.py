@@ -1,0 +1,69 @@
+"""Fig 14: hybrid read performance across loads, failures, and scans.
+
+Paper: (a-c) hybrid read latency tracks 3-r at every load while the RS
+tail extends further; (d) with 10% of nodes down, hybrids stay near 3-r
+while RS p90 rises ~52%; (e) stripe-spanning scans gain 46-71% throughput
+from striped parallelism.
+"""
+
+from repro.bench import experiments as E
+from repro.bench.ascii_plots import cdf_plot
+from repro.bench.reporting import print_table
+
+
+def test_fig14abc_read_latency_under_load(once):
+    result = once(E.fig14_read_latency)
+    rows = []
+    for t, by_scheme in result.items():
+        for name, v in by_scheme.items():
+            rows.append((t, name, v["p50_ms"], v["p90_ms"]))
+    print_table("Fig 14a-c: 8 MB read latency",
+                ["threads", "scheme", "p50 (ms)", "p90 (ms)"], rows)
+    mid = sorted(result)[1] if len(result) > 1 else sorted(result)[0]
+    print(f"CDF at t={mid}:")
+    print(cdf_plot({name: v["cdf"] for name, v in result[mid].items()}))
+
+    for t, by_scheme in result.items():
+        r3 = by_scheme["3-r"]
+        hy2 = by_scheme["Hy(2,CC(6,9))"]
+        assert abs(hy2["p50_ms"] / r3["p50_ms"] - 1) < 0.12
+    # Load raises latency monotonically for every scheme.
+    loads = sorted(result)
+    for name in result[loads[0]]:
+        p90s = [result[t][name]["p90_ms"] for t in loads]
+        assert p90s[0] < p90s[-1]
+
+
+def test_fig14d_degraded_reads(once):
+    degraded = once(E.fig14_degraded)
+    normal = E.fig14_read_latency(loads=(25,))[25]
+    rows = [
+        (name, normal[name]["p90_ms"], v["p90_ms"],
+         f"{v['p90_ms'] / normal[name]['p90_ms'] - 1:+.0%}")
+        for name, v in degraded.items()
+    ]
+    print_table("Fig 14d: reads with 10% of the cluster down",
+                ["scheme", "normal p90", "degraded p90", "hit"], rows)
+
+    hit = {
+        name: degraded[name]["p90_ms"] / normal[name]["p90_ms"] - 1
+        for name in degraded
+    }
+    assert hit["3-r"] < 0.20                      # paper: ~0%
+    assert hit["Hy(2,CC(6,9))"] < 0.25            # paper: +4%
+    assert hit["RS(6,9)"] > 0.35                  # paper: +52%
+    assert hit["RS(6,9)"] > hit["Hy(2,CC(6,9))"] + 0.15
+
+
+def test_fig14e_scan_throughput(once):
+    result = once(E.fig14_read_tput)
+    rows = [
+        (t, v["replica_mb_s"], v["striped_mb_s"], f"{v['improvement']:+.0%}")
+        for t, v in result.items()
+    ]
+    print_table("Fig 14e: 48 MB stripe-spanning scans",
+                ["threads", "replica MB/s", "striped MB/s", "gain"], rows)
+
+    assert result[12]["improvement"] > 0.25   # paper: +71%
+    assert result[25]["improvement"] > 0.05   # paper: +46%, shrinking with load
+    assert result[12]["improvement"] > result[25]["improvement"]

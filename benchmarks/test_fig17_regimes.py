@@ -1,0 +1,32 @@
+"""Fig 17 (Appendix A): disk IO to transcode a 1 GB file per regime.
+
+Paper: best gains in the merge regime with constant parity count (>50%
+less IO than native RS); 26% for 8-of-12 -> 32-of-37 (parity +1, vector
+codes); ~40% for the 16-of-19 -> 8-of-12 split.
+"""
+
+from repro.bench import experiments as E
+from repro.bench.reporting import print_table
+
+
+def test_fig17_regimes(once):
+    result = once(E.fig17_regimes)
+    rows = [
+        (r["case"], r["rrw_mb"], r["rs_mb"], r["cc_mb"], f"{r['cc_vs_rs']:.0%}")
+        for r in result["rows"]
+    ]
+    print_table("Fig 17: disk IO for transcoding a 1 GB file (MB)",
+                ["case", "RRW", "RS", "CC", "CC vs RS"], rows)
+
+    by_case = {r["case"]: r for r in result["rows"]}
+    # Merge regime, parity count constant or lower: > 50% cuts.
+    assert by_case["8-of-12 -> 16-of-19"]["cc_vs_rs"] > 0.50
+    assert by_case["8-of-12 -> 24-of-27"]["cc_vs_rs"] > 0.50
+    # Parity +1 (vector codes): smaller but real cuts (paper: 26%).
+    assert 0.15 < by_case["8-of-12 -> 32-of-37"]["cc_vs_rs"] < 0.40
+    # Split with parity +1 (paper: ~40%).
+    assert 0.25 < by_case["16-of-19 -> 8-of-12"]["cc_vs_rs"] < 0.55
+    # CC never exceeds native RS, and RRW is always worst.
+    for r in result["rows"]:
+        assert r["cc_mb"] <= r["rs_mb"]
+        assert r["rs_mb"] < r["rrw_mb"]

@@ -1,0 +1,61 @@
+#!/usr/bin/env python3
+"""Cluster simulation: steady-state ingest+transcode plus client latency.
+
+Part 1 replays the paper's macrobenchmark (Fig 11c-f): continuous ingest
+with files advancing through EC(5,8) -> EC(10,13) -> EC(20,23), on the
+baseline (3-r + RRW) and on Morph (Hy(1,CC) + native transcode), and
+prints the disk/capacity/CPU ledger.
+
+Part 2 runs the event-driven client-latency experiments (Figs 3/13/14):
+write and read percentiles for 3-r, hybrid, and RS(6,9) under load, plus
+degraded-mode reads with 10% of the cluster down.
+
+Run:  python examples/cluster_lifetime_sim.py
+"""
+
+from repro.bench import experiments as E
+from repro.bench.reporting import print_table
+
+MB = 1024 * 1024
+
+
+def macro():
+    r = E.fig11_macro(n_files=20)
+    base, morph = r["baseline"], r["morph"]
+    rows = [
+        ("disk IO total (MB)", base["disk_total"] / MB, morph["disk_total"] / MB),
+        ("network total (MB)", base["network_total"] / MB, morph["network_total"] / MB),
+        ("capacity at rest (MB)", base["capacity_final"] / MB, morph["capacity_final"] / MB),
+        ("client CPU (s)", base["client_cpu_s"], morph["client_cpu_s"]),
+        ("datanode CPU (s)", base["datanode_cpu_s"], morph["datanode_cpu_s"]),
+        ("peak node memory (MB)", base["peak_memory"] / MB, morph["peak_memory"] / MB),
+        ("IO-bound completion (s)", base["completion_s"], morph["completion_s"]),
+    ]
+    print_table("Macrobenchmark: ingest + lifetime transitions (Fig 11c-f)",
+                ["metric", "baseline", "morph"], rows)
+    print(f"\ndisk IO reduction: {r['disk_reduction']:.1%}  "
+          f"capacity overhead reduction: {r['capacity_overhead_reduction']:.1%}  "
+          f"speedup: {r['speedup']:.2f}x")
+
+
+def latency():
+    writes = E.fig13_write_latency(ops=60)
+    rows = [(name, v["p50_ms"], v["p90_ms"]) for name, v in writes.items()]
+    print_table("8 MB write latency (Fig 13a; paper: hybrid ~ 3-r, RS ~6x)",
+                ["scheme", "p50 (ms)", "p90 (ms)"], rows)
+
+    reads = E.fig14_read_latency(loads=(12, 40), ops=60)
+    for load, by_scheme in reads.items():
+        rows = [(name, v["p50_ms"], v["p90_ms"]) for name, v in by_scheme.items()]
+        print_table(f"8 MB read latency at t={load} threads (Fig 14)",
+                    ["scheme", "p50 (ms)", "p90 (ms)"], rows)
+
+    degraded = E.fig14_degraded(ops=60)
+    rows = [(name, v["p50_ms"], v["p90_ms"]) for name, v in degraded.items()]
+    print_table("8 MB reads with 10% of nodes down (Fig 14d)",
+                ["scheme", "p50 (ms)", "p90 (ms)"], rows)
+
+
+if __name__ == "__main__":
+    macro()
+    latency()

@@ -1,0 +1,96 @@
+#!/usr/bin/env python3
+"""Fault tolerance walkthrough: failures, corruption, and self-healing.
+
+Demonstrates §4.4 and §6.1 end to end on MorphFS:
+
+1. a Hy(1, CC(6,9)) file survives replica loss, data-chunk loss, parity
+   loss, and their combination (c + (n-k) = 4 simultaneous failures);
+2. silent corruption is caught by verify-on-read and by the scrubber;
+3. the heartbeat monitor distinguishes transient blips from real deaths
+   and reconstructs only when a node is declared dead;
+4. every repair is metered — the demo prints what each recovery cost.
+
+Run:  python examples/fault_tolerance_demo.py
+"""
+
+import numpy as np
+
+from repro.bench.reporting import print_table
+from repro.core.schemes import CodeKind, ECScheme, HybridScheme
+from repro.dfs import MorphFS
+from repro.dfs.heartbeat import HeartbeatConfig, HeartbeatMonitor
+from repro.dfs.integrity import Scrubber, corrupt_chunk
+from repro.dfs.recovery import RecoveryManager
+
+KB = 1024
+
+
+def kill(fs, node_id):
+    fs.cluster.fail_node(node_id)
+    fs.datanodes[node_id].fail()
+
+
+def main():
+    fs = MorphFS(chunk_size=16 * KB, future_widths=[6, 12])
+    rng = np.random.default_rng(11)
+    data = rng.integers(0, 256, 384 * KB, dtype=np.uint8)
+    fs.write_file("f", data, HybridScheme(1, ECScheme(CodeKind.CC, 6, 9)))
+    meta = fs.namenode.lookup("f")
+
+    # --- 1. maximum simultaneous failures -------------------------------
+    stripe = meta.stripes[0]
+    block = meta.hybrid_blocks()[0].replicas[0]
+    victims = [block.copies[0].node_id] + [c.node_id for c in stripe.all_chunks()[:3]]
+    for v in victims:
+        kill(fs, v)
+    ok = np.array_equal(fs.read_file("f"), data)
+    print(f"1. {len(victims)} simultaneous chunk failures (replica + 3 stripe "
+          f"chunks): read still correct = {ok}")
+    rows = []
+    before = fs.metrics.summary()
+    count = RecoveryManager(fs).recover_all()
+    after = fs.metrics.summary()
+    rows.append((f"rebuild {count} chunks",
+                 (after["disk_read"] - before["disk_read"]) / KB,
+                 (after["disk_write"] - before["disk_write"]) / KB,
+                 (after["network"] - before["network"]) / KB))
+    for v in victims:
+        fs.cluster.recover_node(v)
+        fs.datanodes[v].recover()
+
+    # --- 2. silent corruption ---------------------------------------------
+    corrupt_chunk(fs, meta.stripes[1].data[0])
+    corrupt_chunk(fs, meta.stripes[2].parities[1])
+    before = fs.metrics.summary()
+    report = Scrubber(fs).scan_and_repair()
+    after = fs.metrics.summary()
+    print(f"2. scrubber: scanned {report.chunks_scanned} chunks, found "
+          f"{len(report.corrupt)} corrupt, repaired {report.repaired}")
+    rows.append(("scrub + repair",
+                 (after["disk_read"] - before["disk_read"]) / KB,
+                 (after["disk_write"] - before["disk_write"]) / KB,
+                 (after["network"] - before["network"]) / KB))
+
+    # --- 3. heartbeats: blip vs death ------------------------------------
+    monitor = HeartbeatMonitor(fs, HeartbeatConfig(dead_after_missed=3))
+    blip = meta.stripes[0].data[1].node_id
+    kill(fs, blip)
+    monitor.tick(); monitor.tick()
+    fs.cluster.recover_node(blip); fs.datanodes[blip].recover()
+    r = monitor.tick()
+    print(f"3. transient 2-beat blip of {blip}: declared dead = "
+          f"{blip in monitor.declared_dead()}, chunks rebuilt = {r.chunks_recovered}")
+    dead = meta.stripes[0].data[2].node_id
+    kill(fs, dead)
+    reports = monitor.run_ticks(3)
+    rebuilt = sum(x.chunks_recovered for x in reports)
+    print(f"   sustained failure of {dead}: declared dead = "
+          f"{dead in monitor.declared_dead()}, chunks rebuilt = {rebuilt}")
+
+    print_table("Repair IO ledger", ["operation", "read KB", "write KB", "net KB"], rows)
+    assert np.array_equal(fs.read_file("f"), data)
+    print("\nFinal read-back: byte-identical. The file never lost a byte.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,31 @@
+"""morph-repro: a reproduction of Morph (SOSP 2024).
+
+Morph is a cluster file system that minimises the IO of establishing and
+changing redundancy over file lifetimes, via hybrid redundancy
+(replica + EC stripe), Convertible Codes, and transcode-aware placement.
+
+Package map:
+
+* :mod:`repro.gf` — GF(2^8) and GF(2^16) arithmetic.
+* :mod:`repro.codes` — RS, LRC, Convertible Codes (access- and
+  bandwidth-optimal), LRCC, StripeMerge, and the transcode cost model.
+* :mod:`repro.core` — schemes (``Hy(c, EC(k,n))``), the §5.2 parameter
+  advisor, lifetime policies, the transcode planner and manager.
+* :mod:`repro.cluster` — event kernel, topology, placement, metrics.
+* :mod:`repro.dfs` — the functional DFS (``MorphFS`` / ``BaselineDFS``).
+* :mod:`repro.sim` — calibrated event-driven performance experiments.
+* :mod:`repro.traces` — synthetic production traces and analyzers.
+* :mod:`repro.bench` — experiment drivers, one per paper figure.
+
+Quick start::
+
+    from repro.core.schemes import CodeKind, ECScheme, HybridScheme
+    from repro.dfs import MorphFS
+
+    fs = MorphFS(future_widths=[6, 12])
+    fs.write_file("f", data, HybridScheme(1, ECScheme(CodeKind.CC, 6, 9)))
+    fs.transcode("f", ECScheme(CodeKind.CC, 6, 9))    # free
+    fs.transcode("f", ECScheme(CodeKind.CC, 12, 15))  # parity-only merge
+"""
+
+__version__ = "1.0.0"

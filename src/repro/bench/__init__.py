@@ -1,0 +1,11 @@
+"""Benchmark harness: experiment drivers and table/series reporting.
+
+Each ``fig*`` function in :mod:`repro.bench.experiments` regenerates the
+data behind one figure of the paper and returns a plain dict; the
+``benchmarks/`` pytest modules call them, print the same rows/series the
+paper reports, and assert the headline shapes.
+"""
+
+from repro.bench.reporting import format_table, print_table, series_summary
+
+__all__ = ["format_table", "print_table", "series_summary"]

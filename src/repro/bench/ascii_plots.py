@@ -1,0 +1,99 @@
+"""Terminal plots: sparklines, bar charts, and CDFs for bench output.
+
+The paper's figures are time series, CDFs and bar groups; these helpers
+render recognisable ASCII versions of each so ``pytest benchmarks/ -s``
+shows the *shape* of every result, not just summary numbers.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Sequence, Tuple
+
+import numpy as np
+
+_SPARK = "▁▂▃▄▅▆▇█"
+
+
+def sparkline(values: Sequence[float], width: int = 72) -> str:
+    """One-line sparkline of a series, resampled to ``width`` columns."""
+    arr = np.asarray(values, dtype=float)
+    if arr.size == 0:
+        return ""
+    if arr.size > width:
+        idx = np.linspace(0, arr.size - 1, width).astype(int)
+        arr = arr[idx]
+    lo, hi = float(arr.min()), float(arr.max())
+    if hi <= lo:
+        return _SPARK[0] * len(arr)
+    levels = ((arr - lo) / (hi - lo) * (len(_SPARK) - 1)).round().astype(int)
+    return "".join(_SPARK[i] for i in levels)
+
+
+def series_plot(name: str, values: Sequence[float], unit: str = "") -> str:
+    """Sparkline with min/mean/max annotations."""
+    arr = np.asarray(values, dtype=float)
+    return (
+        f"{name:>24} |{sparkline(arr)}| "
+        f"min {arr.min():.2f} mean {arr.mean():.2f} max {arr.max():.2f} {unit}"
+    )
+
+
+def bar_chart(
+    rows: Sequence[Tuple[str, float]], width: int = 46, unit: str = ""
+) -> str:
+    """Horizontal bar chart; bar lengths proportional to values."""
+    if not rows:
+        return ""
+    peak = max(v for _n, v in rows) or 1.0
+    label_w = max(len(n) for n, _v in rows)
+    lines = []
+    for name, value in rows:
+        bar = "█" * max(1, int(round(value / peak * width)))
+        lines.append(f"{name:>{label_w}} | {bar} {value:.1f}{unit}")
+    return "\n".join(lines)
+
+
+def cdf_plot(
+    curves: Dict[str, Tuple[Sequence[float], Sequence[float]]],
+    width: int = 60,
+    height: int = 12,
+    x_label: str = "latency (ms)",
+) -> str:
+    """Multi-curve ASCII CDF: each curve gets its own marker character."""
+    markers = "*o+x#@"
+    xs_all = np.concatenate([np.asarray(xs, dtype=float) for xs, _ys in curves.values()])
+    x_lo, x_hi = float(xs_all.min()), float(xs_all.max())
+    if x_hi <= x_lo:
+        x_hi = x_lo + 1.0
+    grid = [[" "] * width for _ in range(height)]
+    for idx, (name, (xs, ys)) in enumerate(curves.items()):
+        marker = markers[idx % len(markers)]
+        for x, y in zip(xs, ys):
+            col = int((x - x_lo) / (x_hi - x_lo) * (width - 1))
+            row = height - 1 - int(y * (height - 1))
+            grid[row][col] = marker
+    lines = ["1.0 ┤" + "".join(grid[0])]
+    for row in grid[1:-1]:
+        lines.append("    │" + "".join(row))
+    lines.append("0.0 ┤" + "".join(grid[-1]))
+    lines.append("    └" + "─" * width)
+    lines.append(f"     {x_lo:.0f}{x_label:^{width - 12}}{x_hi:.0f}")
+    legend = "  ".join(
+        f"{markers[i % len(markers)]}={name}" for i, name in enumerate(curves)
+    )
+    lines.append(f"     {legend}")
+    return "\n".join(lines)
+
+
+def histogram(
+    samples: Sequence[float], bins: int = 30, width: int = 50, unit: str = "ms"
+) -> str:
+    """Vertical-bar histogram of a sample."""
+    arr = np.asarray(samples, dtype=float)
+    counts, edges = np.histogram(arr, bins=bins)
+    peak = counts.max() or 1
+    lines = []
+    for count, lo, hi in zip(counts, edges[:-1], edges[1:]):
+        bar = "█" * int(round(count / peak * width))
+        lines.append(f"{lo:9.1f}-{hi:9.1f} {unit} | {bar} {count}")
+    return "\n".join(lines)

@@ -1,0 +1,47 @@
+"""Plain-text tables and series summaries for benchmark output."""
+
+from __future__ import annotations
+
+from typing import Dict, Sequence
+
+import numpy as np
+
+
+def format_table(headers: Sequence[str], rows: Sequence[Sequence[object]]) -> str:
+    """Fixed-width ASCII table."""
+    cells = [[str(h) for h in headers]] + [[_fmt(c) for c in row] for row in rows]
+    widths = [max(len(row[i]) for row in cells) for i in range(len(headers))]
+    lines = []
+    for ri, row in enumerate(cells):
+        lines.append("  ".join(cell.rjust(widths[i]) for i, cell in enumerate(row)))
+        if ri == 0:
+            lines.append("  ".join("-" * w for w in widths))
+    return "\n".join(lines)
+
+
+def _fmt(value: object) -> str:
+    if isinstance(value, float):
+        if abs(value) >= 100:
+            return f"{value:.0f}"
+        if abs(value) >= 1:
+            return f"{value:.2f}"
+        return f"{value:.4f}"
+    return str(value)
+
+
+def print_table(title: str, headers: Sequence[str], rows: Sequence[Sequence[object]]) -> None:
+    print(f"\n== {title} ==")
+    print(format_table(headers, rows))
+
+
+def series_summary(name: str, values) -> Dict[str, float]:
+    """Mean / min / max / p10 / p90 of an hourly series."""
+    arr = np.asarray(values, dtype=float)
+    return {
+        "name": name,
+        "mean": float(arr.mean()),
+        "min": float(arr.min()),
+        "max": float(arr.max()),
+        "p10": float(np.percentile(arr, 10)),
+        "p90": float(np.percentile(arr, 90)),
+    }

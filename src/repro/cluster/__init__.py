@@ -1,0 +1,39 @@
+"""Cluster substrate: event engine, topology, latency models, placement.
+
+* :mod:`repro.cluster.engine` — minimal discrete-event simulation kernel
+  (generator-based processes, resources, timeouts, any-of/all-of joins).
+* :mod:`repro.cluster.topology` — racks, nodes, disks and their speeds.
+* :mod:`repro.cluster.latency` — empirical service-time distributions
+  calibrated to the paper's anchor points.
+* :mod:`repro.cluster.metrics` — disk/network/CPU/memory accounting.
+* :mod:`repro.cluster.placement` — block placement policies, including
+  Morph's k*-separation and parity co-location (§5.3).
+* :mod:`repro.cluster.failure` — failure injection.
+"""
+
+from repro.cluster.engine import AllOf, AnyOf, Environment, Resource, Timeout
+from repro.cluster.topology import Cluster, ClusterSpec, Node
+from repro.cluster.metrics import IOMetrics, NodeMetrics
+from repro.cluster.placement import (
+    PlacementError,
+    PlacementPolicy,
+    DefaultPlacement,
+    TranscodeAwarePlacement,
+)
+
+__all__ = [
+    "Environment",
+    "Resource",
+    "Timeout",
+    "AllOf",
+    "AnyOf",
+    "Cluster",
+    "ClusterSpec",
+    "Node",
+    "IOMetrics",
+    "NodeMetrics",
+    "PlacementError",
+    "PlacementPolicy",
+    "DefaultPlacement",
+    "TranscodeAwarePlacement",
+]

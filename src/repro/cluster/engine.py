@@ -1,0 +1,217 @@
+"""A minimal discrete-event simulation kernel.
+
+Generator-based processes in the style of SimPy, reduced to exactly what
+the latency experiments need: timeouts, FIFO resources, process joins and
+any-of/all-of combinators. Implemented here (rather than depending on
+SimPy) because the environment is offline and the subset is small.
+
+Example::
+
+    env = Environment()
+
+    def disk_read(env, disk, service):
+        req = disk.request()
+        yield req
+        yield env.timeout(service)
+        disk.release(req)
+
+    p = env.process(disk_read(env, disk, 0.008))
+    env.run()
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Any, Callable, Generator, List, Optional
+
+
+class Event:
+    """A one-shot occurrence processes can wait on."""
+
+    def __init__(self, env: "Environment"):
+        self.env = env
+        self.callbacks: List[Callable[["Event"], None]] = []
+        self.triggered = False
+        self.value: Any = None
+
+    def succeed(self, value: Any = None) -> "Event":
+        if self.triggered:
+            raise RuntimeError("event already triggered")
+        self.triggered = True
+        self.value = value
+        self.env._schedule_event(self)
+        return self
+
+
+class Timeout(Event):
+    """Fires after a fixed simulated delay."""
+
+    def __init__(self, env: "Environment", delay: float, value: Any = None):
+        if delay < 0:
+            raise ValueError(f"negative delay {delay}")
+        super().__init__(env)
+        self.triggered = True
+        self.value = value
+        env._schedule_event(self, delay)
+
+
+class Process(Event):
+    """Wraps a generator; the process event fires when the generator ends.
+
+    The generator yields :class:`Event` objects and is resumed with each
+    event's ``value``.
+    """
+
+    def __init__(self, env: "Environment", gen: Generator):
+        super().__init__(env)
+        self._gen = gen
+        # Bootstrap on the next tick.
+        bootstrap = Event(env)
+        bootstrap.callbacks.append(self._resume)
+        bootstrap.succeed()
+
+    def _resume(self, trigger: Event) -> None:
+        try:
+            target = self._gen.send(trigger.value)
+        except StopIteration as stop:
+            if not self.triggered:
+                self.triggered = True
+                self.value = stop.value
+                self.env._schedule_event(self)
+            return
+        if not isinstance(target, Event):
+            raise TypeError(f"process yielded non-event {target!r}")
+        if target.triggered and target._processed:
+            # Already fired and delivered: resume immediately via a stub.
+            stub = Event(self.env)
+            stub.callbacks.append(self._resume)
+            stub.value = target.value
+            stub.triggered = True
+            self.env._schedule_event(stub)
+        else:
+            target.callbacks.append(self._resume)
+
+
+class AllOf(Event):
+    """Fires when every child event has fired; value is their value list."""
+
+    def __init__(self, env: "Environment", events: List[Event]):
+        super().__init__(env)
+        self._pending = 0
+        self._events = events
+        for ev in events:
+            if ev.triggered and ev._processed:
+                continue
+            self._pending += 1
+            ev.callbacks.append(self._on_child)
+        if self._pending == 0:
+            self.succeed([ev.value for ev in events])
+
+    def _on_child(self, ev: Event) -> None:
+        self._pending -= 1
+        if self._pending == 0 and not self.triggered:
+            self.succeed([e.value for e in self._events])
+
+
+class AnyOf(Event):
+    """Fires when the first child fires; value is (index, value)."""
+
+    def __init__(self, env: "Environment", events: List[Event]):
+        super().__init__(env)
+        self._events = events
+        done = next(
+            (i for i, ev in enumerate(events) if ev.triggered and ev._processed),
+            None,
+        )
+        if done is not None:
+            self.succeed((done, events[done].value))
+            return
+        for i, ev in enumerate(events):
+            ev.callbacks.append(self._make_cb(i))
+
+    def _make_cb(self, index: int):
+        def cb(ev: Event) -> None:
+            if not self.triggered:
+                self.succeed((index, ev.value))
+
+        return cb
+
+
+class Resource:
+    """A FIFO resource with fixed capacity (e.g. a disk's service slots)."""
+
+    def __init__(self, env: "Environment", capacity: int = 1):
+        if capacity < 1:
+            raise ValueError("capacity must be >= 1")
+        self.env = env
+        self.capacity = capacity
+        self.in_use = 0
+        self._waiters: List[Event] = []
+
+    def request(self) -> Event:
+        """Event that fires when a slot is granted."""
+        ev = Event(self.env)
+        if self.in_use < self.capacity:
+            self.in_use += 1
+            ev.succeed()
+        else:
+            self._waiters.append(ev)
+        return ev
+
+    def release(self, _request: Optional[Event] = None) -> None:
+        if self._waiters:
+            self._waiters.pop(0).succeed()
+        else:
+            self.in_use -= 1
+
+    @property
+    def queue_length(self) -> int:
+        return len(self._waiters)
+
+
+class Environment:
+    """Simulation clock plus the pending-event heap."""
+
+    def __init__(self):
+        self.now = 0.0
+        self._heap: List = []
+        self._seq = 0
+
+    # -- event plumbing -----------------------------------------------------
+    def _schedule_event(self, event: Event, delay: float = 0.0) -> None:
+        heapq.heappush(self._heap, (self.now + delay, self._seq, event))
+        self._seq += 1
+
+    # -- public API -----------------------------------------------------------
+    def timeout(self, delay: float, value: Any = None) -> Timeout:
+        return Timeout(self, delay, value)
+
+    def process(self, gen: Generator) -> Process:
+        return Process(self, gen)
+
+    def all_of(self, events: List[Event]) -> AllOf:
+        return AllOf(self, events)
+
+    def any_of(self, events: List[Event]) -> AnyOf:
+        return AnyOf(self, events)
+
+    def run(self, until: Optional[float] = None) -> None:
+        """Dispatch events until the heap drains or the clock passes ``until``."""
+        while self._heap:
+            t, _seq, event = self._heap[0]
+            if until is not None and t > until:
+                self.now = until
+                return
+            heapq.heappop(self._heap)
+            self.now = t
+            event._processed = True
+            callbacks, event.callbacks = event.callbacks, []
+            for cb in callbacks:
+                cb(event)
+        if until is not None:
+            self.now = until
+
+
+# Events start unprocessed; Process._resume and the combinators use the
+# flag to distinguish "triggered but not yet dispatched" from "done".
+Event._processed = False

@@ -1,0 +1,45 @@
+"""Failure injection for recovery and degraded-mode experiments."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Set
+
+import numpy as np
+
+from repro.cluster.topology import Cluster
+
+
+@dataclass
+class FailureInjector:
+    """Drives node failures and chunk corruptions deterministically."""
+
+    cluster: Cluster
+    seed: int = 0
+    failed_nodes: Set[str] = field(default_factory=set)
+
+    def __post_init__(self):
+        self.rng = np.random.default_rng(self.seed)
+
+    def fail_random_nodes(self, count: int) -> List[str]:
+        alive = [n.node_id for n in self.cluster.alive_nodes()]
+        if count > len(alive):
+            raise ValueError(f"cannot fail {count} of {len(alive)} nodes")
+        picks = self.rng.choice(len(alive), size=count, replace=False)
+        ids = [alive[int(i)] for i in picks]
+        for node_id in ids:
+            self.cluster.fail_node(node_id)
+            self.failed_nodes.add(node_id)
+        return ids
+
+    def fail_fraction(self, fraction: float) -> List[str]:
+        count = max(1, int(round(fraction * len(self.cluster))))
+        return self.fail_random_nodes(count)
+
+    def recover_all(self) -> None:
+        for node_id in list(self.failed_nodes):
+            self.cluster.recover_node(node_id)
+        self.failed_nodes.clear()
+
+    def is_available(self, node_id: str) -> bool:
+        return node_id not in self.failed_nodes

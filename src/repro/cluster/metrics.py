@@ -1,0 +1,104 @@
+"""IO / compute / memory accounting.
+
+Counters are plain and explicit: the functional DFS and the event-driven
+experiments both record into these, and every benchmark reads savings out
+of them. Byte counts are floats so cost-model fractions stay exact.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from dataclasses import dataclass, field
+from typing import Dict, List, Tuple
+
+
+@dataclass
+class NodeMetrics:
+    """Per-node counters."""
+
+    disk_bytes_read: float = 0.0
+    disk_bytes_written: float = 0.0
+    net_bytes_in: float = 0.0
+    net_bytes_out: float = 0.0
+    cpu_seconds: float = 0.0
+    memory_peak_bytes: float = 0.0
+    memory_in_use_bytes: float = 0.0
+
+    @property
+    def disk_bytes_total(self) -> float:
+        return self.disk_bytes_read + self.disk_bytes_written
+
+    @property
+    def net_bytes_total(self) -> float:
+        return self.net_bytes_in + self.net_bytes_out
+
+    def use_memory(self, nbytes: float) -> None:
+        self.memory_in_use_bytes += nbytes
+        self.memory_peak_bytes = max(self.memory_peak_bytes, self.memory_in_use_bytes)
+
+    def free_memory(self, nbytes: float) -> None:
+        self.memory_in_use_bytes = max(0.0, self.memory_in_use_bytes - nbytes)
+
+
+@dataclass
+class IOMetrics:
+    """Cluster-wide counters plus a per-node breakdown and a time series."""
+
+    nodes: Dict[str, NodeMetrics] = field(default_factory=lambda: defaultdict(NodeMetrics))
+    #: (time, disk_bytes_delta) samples for throughput-over-time plots
+    timeline: List[Tuple[float, float, str]] = field(default_factory=list)
+
+    def node(self, node_id: str) -> NodeMetrics:
+        return self.nodes[node_id]
+
+    def record_disk_read(self, node_id: str, nbytes: float, at: float = 0.0, tag: str = "") -> None:
+        self.nodes[node_id].disk_bytes_read += nbytes
+        self.timeline.append((at, nbytes, tag or "disk_read"))
+
+    def record_disk_write(self, node_id: str, nbytes: float, at: float = 0.0, tag: str = "") -> None:
+        self.nodes[node_id].disk_bytes_written += nbytes
+        self.timeline.append((at, nbytes, tag or "disk_write"))
+
+    def record_transfer(self, src: str, dst: str, nbytes: float) -> None:
+        if src == dst:
+            return  # server-local: no network IO (parity co-location wins)
+        self.nodes[src].net_bytes_out += nbytes
+        self.nodes[dst].net_bytes_in += nbytes
+
+    def record_cpu(self, node_id: str, seconds: float) -> None:
+        self.nodes[node_id].cpu_seconds += seconds
+
+    # -- aggregates --------------------------------------------------------
+    @property
+    def disk_bytes_read(self) -> float:
+        return sum(m.disk_bytes_read for m in self.nodes.values())
+
+    @property
+    def disk_bytes_written(self) -> float:
+        return sum(m.disk_bytes_written for m in self.nodes.values())
+
+    @property
+    def disk_bytes_total(self) -> float:
+        return self.disk_bytes_read + self.disk_bytes_written
+
+    @property
+    def net_bytes_total(self) -> float:
+        # Count each transfer once (out side).
+        return sum(m.net_bytes_out for m in self.nodes.values())
+
+    @property
+    def cpu_seconds_total(self) -> float:
+        return sum(m.cpu_seconds for m in self.nodes.values())
+
+    def capacity_used(self) -> float:
+        """Bytes at rest = written minus deleted; maintained by the DFS."""
+        return self.disk_bytes_written  # overridden usage: DFS tracks deletes
+
+    def summary(self) -> Dict[str, float]:
+        return {
+            "disk_read": self.disk_bytes_read,
+            "disk_write": self.disk_bytes_written,
+            "disk_total": self.disk_bytes_total,
+            "network": self.net_bytes_total,
+            "cpu_seconds": self.cpu_seconds_total,
+        }

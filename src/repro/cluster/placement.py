@@ -1,0 +1,204 @@
+"""Block placement policies (paper §5.3, §6.1).
+
+Placement is where Convertible Codes meet the physical cluster:
+
+* **Data separation.** New stripes form over *sequential* data chunks, so
+  chunks that may later share a (wider) stripe must never share a server.
+  Morph computes ``k*`` — the LCM of every potential future stripe width —
+  and places each window of ``k*`` consecutive chunks on distinct nodes.
+* **Parity co-location.** When ``r`` stays constant, each merged parity is
+  a function of exactly the parities it replaces, so parity ``j`` of all
+  stripes in a merge group is placed on one node: the merge is then a
+  server-local read-combine-write with **zero network IO**.
+* **Hybrid no-overlap.** Replica blocks of a hybrid file exclude the EC
+  chunk locations (and vice versa), preserving the failure independence
+  that gives Hy(c, EC(k,n)) its c + (n-k) tolerance.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from repro.cluster.topology import Cluster, Node
+
+
+class PlacementError(Exception):
+    """Raised when the cluster cannot satisfy a placement constraint."""
+
+
+class PlacementPolicy:
+    """Base: rack-spread random placement with exclusions and distinctness.
+
+    Chunks of one stripe should survive a rack failure, so selection
+    round-robins across racks (each rack's candidates in random order)
+    before taking the first ``count`` — stripes of n <= #racks chunks land
+    on n distinct racks, wider stripes spread as evenly as possible.
+    """
+
+    def __init__(self, cluster: Cluster, seed: int = 0):
+        self.cluster = cluster
+        self.rng = np.random.default_rng(seed)
+
+    def pick_nodes(
+        self,
+        count: int,
+        exclude: Optional[Sequence[str]] = None,
+        spread_racks: bool = True,
+    ) -> List[str]:
+        """Pick ``count`` distinct live nodes, avoiding ``exclude``."""
+        excluded = set(exclude or [])
+        pool = [n for n in self.cluster.alive_nodes() if n.node_id not in excluded]
+        if len(pool) < count:
+            raise PlacementError(
+                f"need {count} nodes, only {len(pool)} available after exclusions"
+            )
+        if not spread_racks:
+            idx = self.rng.choice(len(pool), size=count, replace=False)
+            return [pool[int(i)].node_id for i in idx]
+        by_rack: dict = {}
+        for node in pool:
+            by_rack.setdefault(node.rack, []).append(node.node_id)
+        racks = list(by_rack)
+        self.rng.shuffle(racks)
+        for rack in racks:
+            self.rng.shuffle(by_rack[rack])
+        picked: List[str] = []
+        level = 0
+        while len(picked) < count:
+            progressed = False
+            for rack in racks:
+                nodes = by_rack[rack]
+                if level < len(nodes):
+                    picked.append(nodes[level])
+                    progressed = True
+                    if len(picked) == count:
+                        break
+            if not progressed:
+                break
+            level += 1
+        return picked[:count]
+
+
+class DefaultPlacement(PlacementPolicy):
+    """HDFS-style placement: distinct nodes per stripe, nothing planned.
+
+    Each stripe independently lands on random distinct nodes, so a later
+    merge of two stripes usually finds overlapping servers and must move
+    chunks (exactly the overhead Morph's policy designs away).
+    """
+
+    def place_stripe(self, k: int, r: int) -> Dict[str, List[str]]:
+        nodes = self.pick_nodes(k + r)
+        return {"data": nodes[:k], "parity": nodes[k:]}
+
+    def place_replicas(self, copies: int, exclude: Optional[Sequence[str]] = None) -> List[str]:
+        return self.pick_nodes(copies, exclude=exclude)
+
+
+class TranscodeAwarePlacement(PlacementPolicy):
+    """Morph's policy: k*-window data separation + parity co-location.
+
+    Per file, window ``w`` of ``k_star`` sequential data chunks is bound
+    to ``k_star`` distinct nodes; ``r_star`` additional nodes are reserved
+    for parities (parity ``j`` of every stripe in the window lands on
+    reserved node ``j``). This guarantees (1) every current *and* future
+    stripe within the window has all chunks on distinct servers, (2) data
+    and parity never overlap, (3) merge-partner parities are co-located.
+    """
+
+    def __init__(self, cluster: Cluster, k_star: int, r_star: int, seed: int = 0):
+        super().__init__(cluster, seed)
+        if k_star < 1 or r_star < 0:
+            raise ValueError("k_star must be >= 1 and r_star >= 0")
+        if k_star + r_star > len(cluster.alive_nodes()):
+            raise PlacementError(
+                f"k*+r* = {k_star + r_star} exceeds cluster size {len(cluster)}"
+            )
+        self.k_star = k_star
+        self.r_star = r_star
+        # (file_id, window) -> {"data": [...k_star], "parity": [...r_star]}
+        self._windows: Dict[tuple, Dict[str, List[str]]] = {}
+
+    def _window_nodes(self, file_id: str, window: int) -> Dict[str, List[str]]:
+        key = (file_id, window)
+        if key not in self._windows:
+            nodes = self.pick_nodes(self.k_star + self.r_star)
+            self._windows[key] = {
+                "data": nodes[: self.k_star],
+                "parity": nodes[self.k_star :],
+            }
+        return self._windows[key]
+
+    def data_node(self, file_id: str, chunk_index: int) -> str:
+        """Node for the ``chunk_index``-th data chunk of a file."""
+        window, slot = divmod(chunk_index, self.k_star)
+        return self._window_nodes(file_id, window)["data"][slot]
+
+    def parity_node(self, file_id: str, chunk_index: int, parity_j: int) -> str:
+        """Node for parity ``j`` of the stripe containing ``chunk_index``.
+
+        Co-located across all stripes of the same k*-window, which is what
+        makes same-r CC merges network-free.
+        """
+        if parity_j >= self.r_star:
+            raise PlacementError(
+                f"parity index {parity_j} exceeds reserved r*={self.r_star}"
+            )
+        window = chunk_index // self.k_star
+        return self._window_nodes(file_id, window)["parity"][parity_j]
+
+    def place_stripe(self, file_id: str, stripe_index: int, k: int, r: int) -> Dict[str, List[str]]:
+        """Data + parity nodes for stripe ``stripe_index`` of width k."""
+        first_chunk = stripe_index * k
+        data = [self.data_node(file_id, first_chunk + t) for t in range(k)]
+        parity = [self.parity_node(file_id, first_chunk, j) for j in range(r)]
+        return {"data": data, "parity": parity}
+
+    def place_replicas(
+        self, file_id: str, block_index: int, copies: int, exclude: Sequence[str]
+    ) -> List[str]:
+        """Replica nodes for a hybrid block, excluding its EC chunk nodes."""
+        return self.pick_nodes(copies, exclude=exclude)
+
+    def verify_no_future_overlap(self, file_id: str, n_chunks: int) -> bool:
+        """True if every k*-window of the file has fully distinct nodes."""
+        for window_start in range(0, n_chunks, self.k_star):
+            window_nodes = [
+                self.data_node(file_id, t)
+                for t in range(window_start, min(window_start + self.k_star, n_chunks))
+            ]
+            if len(set(window_nodes)) != len(window_nodes):
+                return False
+        return True
+
+
+class UnplannedPlacement(PlacementPolicy):
+    """Ablation policy: per-stripe random placement, nothing planned.
+
+    API-compatible with :class:`TranscodeAwarePlacement` so MorphFS can
+    run with planning disabled: stripes still get distinct nodes, but
+    merge partners may collide across stripes and parities are scattered,
+    so CC merges pay network IO (and real systems would also move data).
+    Used by the placement ablation benchmark.
+    """
+
+    def __init__(self, cluster: Cluster, seed: int = 0):
+        super().__init__(cluster, seed)
+        self._stripes: Dict[tuple, Dict[str, List[str]]] = {}
+
+    def place_stripe(self, file_id: str, stripe_index: int, k: int, r: int) -> Dict[str, List[str]]:
+        key = (file_id, stripe_index, k, r)
+        if key not in self._stripes:
+            nodes = self.pick_nodes(k + r)
+            self._stripes[key] = {"data": nodes[:k], "parity": nodes[k:]}
+        return self._stripes[key]
+
+    def place_replicas(
+        self, file_id: str, block_index: int, copies: int, exclude: Sequence[str]
+    ) -> List[str]:
+        return self.pick_nodes(copies, exclude=exclude)
+
+    def parity_node(self, file_id: str, chunk_index: int, parity_j: int) -> str:
+        return self.pick_nodes(1)[0]

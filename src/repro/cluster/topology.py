@@ -1,0 +1,86 @@
+"""Cluster topology: racks, nodes, disks.
+
+The experimental scale mirrors the paper's testbed: 1 Namenode, 23
+Datanodes, 5 client nodes, one HDD per Datanode, 40 GbE. Topology is
+plain data; behaviour lives in the DFS and the event-driven experiments.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.cluster.latency import CpuModel, DiskModel, MemoryModel, NetworkModel
+
+TB = 1024 ** 4
+
+
+@dataclass
+class Node:
+    """One server: identity, rack, disk capacity and live/dead state."""
+
+    node_id: str
+    rack: int
+    disk_capacity_bytes: float = 1 * TB
+    is_alive: bool = True
+
+    def __hash__(self):
+        return hash(self.node_id)
+
+    def __eq__(self, other):
+        return isinstance(other, Node) and self.node_id == other.node_id
+
+
+@dataclass
+class ClusterSpec:
+    """Sizing and hardware models for a simulated cluster."""
+
+    n_datanodes: int = 23
+    n_racks: int = 4
+    disk_capacity_bytes: float = 1 * TB
+    disk: DiskModel = field(default_factory=DiskModel)
+    network: NetworkModel = field(default_factory=NetworkModel)
+    cpu: CpuModel = field(default_factory=CpuModel)
+    memory: MemoryModel = field(default_factory=MemoryModel)
+    #: battery-backed buffer cache per Datanode (paper: 512 MB)
+    buffer_cache_bytes: float = 512 * 1024 * 1024
+
+
+class Cluster:
+    """The set of Datanodes (placement targets) of a simulated DFS."""
+
+    def __init__(self, spec: Optional[ClusterSpec] = None):
+        self.spec = spec or ClusterSpec()
+        self.nodes: List[Node] = [
+            Node(
+                node_id=f"dn{i:03d}",
+                rack=i % self.spec.n_racks,
+                disk_capacity_bytes=self.spec.disk_capacity_bytes,
+            )
+            for i in range(self.spec.n_datanodes)
+        ]
+        self._by_id: Dict[str, Node] = {n.node_id: n for n in self.nodes}
+
+    def node(self, node_id: str) -> Node:
+        return self._by_id[node_id]
+
+    def alive_nodes(self) -> List[Node]:
+        return [n for n in self.nodes if n.is_alive]
+
+    def fail_node(self, node_id: str) -> None:
+        self._by_id[node_id].is_alive = False
+
+    def recover_node(self, node_id: str) -> None:
+        self._by_id[node_id].is_alive = True
+
+    def fail_fraction(self, fraction: float, rng) -> List[str]:
+        """Fail a random fraction of nodes (Fig 14d: 10% down)."""
+        count = max(1, int(round(fraction * len(self.nodes))))
+        victims = rng.choice(len(self.nodes), size=count, replace=False)
+        ids = [self.nodes[int(i)].node_id for i in victims]
+        for node_id in ids:
+            self.fail_node(node_id)
+        return ids
+
+    def __len__(self) -> int:
+        return len(self.nodes)

@@ -1,0 +1,229 @@
+"""Shared abstractions for erasure codes.
+
+A *chunk* is a 1-D ``numpy.uint8`` array. A *stripe* is the ordered set of
+``n`` equal-length chunks (``k`` data followed by ``n - k`` parity) that a
+code couples together. Codes are linear over GF(256) and systematic: the
+first ``k`` chunks of a stripe are the raw data.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+
+class DecodeError(Exception):
+    """Raised when the available chunks cannot recover the erased ones."""
+
+
+def split_into_chunks(data: np.ndarray, k: int) -> List[np.ndarray]:
+    """Split a byte buffer into k equal chunks, zero-padding the tail.
+
+    >>> [c.tolist() for c in split_into_chunks(np.arange(5, dtype=np.uint8), 2)]
+    [[0, 1, 2], [3, 4, 0]]
+    """
+    data = np.asarray(data, dtype=np.uint8).reshape(-1)
+    chunk_len = (len(data) + k - 1) // k
+    if chunk_len == 0:
+        chunk_len = 1
+    padded = np.zeros(chunk_len * k, dtype=np.uint8)
+    padded[: len(data)] = data
+    return [padded[i * chunk_len : (i + 1) * chunk_len] for i in range(k)]
+
+
+def join_chunks(chunks: Sequence[np.ndarray], length: Optional[int] = None) -> np.ndarray:
+    """Inverse of :func:`split_into_chunks`; optionally trim padding."""
+    joined = np.concatenate([np.asarray(c, dtype=np.uint8) for c in chunks])
+    if length is not None:
+        joined = joined[:length]
+    return joined
+
+
+def chunks_equal(a: Sequence[np.ndarray], b: Sequence[np.ndarray]) -> bool:
+    """True if two chunk lists are element-wise identical."""
+    if len(a) != len(b):
+        return False
+    return all(np.array_equal(x, y) for x, y in zip(a, b))
+
+
+@dataclass
+class Stripe:
+    """One erasure-coded stripe: k data chunks + r parity chunks.
+
+    ``chunks[i]`` may be ``None`` to represent an erased/unavailable chunk.
+    """
+
+    k: int
+    n: int
+    chunks: List[Optional[np.ndarray]] = field(default_factory=list)
+
+    @property
+    def r(self) -> int:
+        return self.n - self.k
+
+    @property
+    def data_chunks(self) -> List[Optional[np.ndarray]]:
+        return self.chunks[: self.k]
+
+    @property
+    def parity_chunks(self) -> List[Optional[np.ndarray]]:
+        return self.chunks[self.k :]
+
+    def available_indices(self) -> List[int]:
+        return [i for i, c in enumerate(self.chunks) if c is not None]
+
+    def erased_indices(self) -> List[int]:
+        return [i for i, c in enumerate(self.chunks) if c is None]
+
+    def erase(self, *indices: int) -> "Stripe":
+        """Return a copy of the stripe with the given chunks erased."""
+        new_chunks: List[Optional[np.ndarray]] = list(self.chunks)
+        for i in indices:
+            new_chunks[i] = None
+        return Stripe(self.k, self.n, new_chunks)
+
+    def chunk_size(self) -> int:
+        for c in self.chunks:
+            if c is not None:
+                return len(c)
+        raise ValueError("stripe has no available chunks")
+
+
+class ErasureCode:
+    """Base interface for systematic linear erasure codes over GF(256).
+
+    Subclasses define :attr:`generator`, an ``(n, k)`` uint8 matrix whose
+    top ``k`` rows are the identity; chunk ``i`` of a stripe equals row
+    ``i`` of the generator applied to the k data chunks.
+    """
+
+    def __init__(self, k: int, n: int):
+        if not 0 < k < n:
+            raise ValueError(f"need 0 < k < n, got k={k} n={n}")
+        self.k = k
+        self.n = n
+
+    @property
+    def r(self) -> int:
+        return self.n - self.k
+
+    # -- to be provided by subclasses ------------------------------------
+    @property
+    def generator(self) -> np.ndarray:
+        """(n, k) generator matrix; rows 0..k-1 are the identity."""
+        raise NotImplementedError
+
+    # -- generic machinery ------------------------------------------------
+    def encode(self, data_chunks: Sequence[np.ndarray]) -> List[np.ndarray]:
+        """Compute the r parity chunks for k equal-length data chunks."""
+        if len(data_chunks) != self.k:
+            raise ValueError(f"expected {self.k} data chunks, got {len(data_chunks)}")
+        data = np.stack([np.asarray(c, dtype=np.uint8) for c in data_chunks])
+        from repro.gf.matrix import gf_matmul
+
+        parity_rows = self.generator[self.k :]
+        parities = gf_matmul(parity_rows, data)
+        return [parities[i] for i in range(self.r)]
+
+    def encode_stripe(self, data_chunks: Sequence[np.ndarray]) -> Stripe:
+        """Encode and package data + parities into a :class:`Stripe`."""
+        parities = self.encode(data_chunks)
+        chunks = [np.asarray(c, dtype=np.uint8) for c in data_chunks] + parities
+        return Stripe(self.k, self.n, chunks)
+
+    def decode(
+        self, available: Dict[int, np.ndarray], erased: Sequence[int]
+    ) -> Dict[int, np.ndarray]:
+        """Recover erased chunks from any sufficient set of available ones.
+
+        Args:
+            available: map chunk-index -> chunk bytes.
+            erased: indices to reconstruct.
+
+        Returns:
+            map erased-index -> recovered chunk.
+
+        Raises:
+            DecodeError: if the available chunks are insufficient.
+        """
+        from repro.gf.matrix import SingularMatrixError, gf_matmul, gf_matinv
+
+        erased = list(erased)
+        if not erased:
+            return {}
+        use = sorted(available)[: self.k] if len(available) >= self.k else sorted(available)
+        if len(use) < self.k:
+            raise DecodeError(
+                f"need {self.k} chunks to decode, only {len(available)} available"
+            )
+        sub_gen = self.generator[use, :]
+        try:
+            inv = gf_matinv(sub_gen)
+        except SingularMatrixError:
+            # A non-MDS code (or unlucky subset): retry with a different
+            # k-subset before giving up.
+            inv = self._find_invertible_subset(available)
+            if inv is None:
+                raise DecodeError("no invertible k-subset of available chunks")
+            inv, use = inv
+        stacked = np.stack([np.asarray(available[i], dtype=np.uint8) for i in use])
+        data = gf_matmul(inv, stacked)
+        out: Dict[int, np.ndarray] = {}
+        for idx in erased:
+            row = self.generator[idx : idx + 1, :]
+            out[idx] = gf_matmul(row, data)[0]
+        return out
+
+    def _find_invertible_subset(self, available: Dict[int, np.ndarray]):
+        from itertools import combinations
+
+        from repro.gf.matrix import SingularMatrixError, gf_matinv
+
+        for use in combinations(sorted(available), self.k):
+            try:
+                return gf_matinv(self.generator[list(use), :]), list(use)
+            except SingularMatrixError:
+                continue
+        return None
+
+    def decode_stripe(self, stripe: Stripe) -> Stripe:
+        """Fill in every erased chunk of a stripe, returning a full copy."""
+        available = {i: c for i, c in enumerate(stripe.chunks) if c is not None}
+        recovered = self.decode(available, stripe.erased_indices())
+        chunks = [
+            stripe.chunks[i] if stripe.chunks[i] is not None else recovered[i]
+            for i in range(stripe.n)
+        ]
+        return Stripe(stripe.k, stripe.n, chunks)
+
+    # -- verification ------------------------------------------------------
+    def is_mds(self, max_patterns: Optional[int] = None) -> bool:
+        """Check the MDS property by enumerating r-erasure patterns.
+
+        An (n, k) code is MDS iff every k columns of the generator span
+        the data, i.e. every pattern of exactly r erasures is decodable.
+        ``max_patterns`` caps the enumeration (deterministic prefix) for
+        wide codes; None means exhaustive.
+        """
+        from itertools import combinations
+
+        from repro.gf.matrix import gf_rank
+
+        count = 0
+        for erased in combinations(range(self.n), self.r):
+            survivors = [i for i in range(self.n) if i not in erased]
+            if gf_rank(self.generator[survivors, :]) < self.k:
+                return False
+            count += 1
+            if max_patterns is not None and count >= max_patterns:
+                break
+        return True
+
+    def storage_overhead(self) -> float:
+        """Ratio of raw bytes stored to logical bytes (n / k)."""
+        return self.n / self.k
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}({self.k},{self.n})"

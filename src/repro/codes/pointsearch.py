@@ -1,0 +1,215 @@
+"""Search for MDS-safe evaluation points for Convertible Codes.
+
+A Convertible-Code family over GF(256) is defined by ``r`` evaluation
+points ``alpha_0 .. alpha_{r-1}``. A code of width ``w`` in the family has
+parity block ``P[t, j] = alpha_j ** t`` (t = 0..w-1). The family supports
+conversion among all its widths because a data symbol's parity coefficient
+factors through its position: shifting a stripe by ``o`` positions scales
+its parity contribution by ``alpha_j ** o``.
+
+``[I | P]`` is MDS iff every square submatrix of ``P`` is nonsingular
+(superregularity). Generalized Vandermonde matrices over a small field are
+*not* automatically superregular, so this module searches for point sets
+and **verifies** superregularity up to the requested width with vectorised
+batch determinants. Verified families are cached per ``(r, width)``.
+"""
+
+from __future__ import annotations
+
+from itertools import combinations
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.gf.field import GF256, gf_pow
+from repro.gf.field import _MUL_TABLE
+
+#: Above this many submatrix determinants, fall back to sampled checking.
+EXHAUSTIVE_DET_LIMIT = 3_000_000
+
+#: How many submatrices to sample per size when exhaustive is too costly.
+SAMPLE_COUNT = 200_000
+
+#: Curated generator-exponent tuples, pre-searched offline and re-verified
+#: at construction time. Tried before the generic candidate stream.
+#:
+#: The tuples are *nested prefixes* of one chain (0, 13, 71, 197, 46):
+#: a code with r parities uses the first r points, so codes of different
+#: parity counts share point prefixes and are mutually convertible
+#: (e.g. a CC(6,9) -> CC(12,14) merge that drops a parity).
+CURATED_EXPONENTS: Dict[int, List[Tuple[int, ...]]] = {
+    2: [(0, 13)],
+    3: [(0, 13, 71)],
+    4: [(0, 13, 71, 197)],
+    5: [(0, 13, 71, 197, 46)],
+}
+
+#: Maximum verified-feasible family width per parity count over GF(256).
+#: Superregular generalized-Vandermonde matrices need larger fields as r
+#: and width grow (the CC papers' field-size bounds); over GF(2^8) these
+#: are the practical ceilings found by exhaustive search. Wider codes
+#: with r >= 4 are handled analytically by repro.codes.costmodel (as in
+#: the paper, whose *system* evaluation also stays at moderate widths).
+MAX_FEASIBLE_WIDTH: Dict[int, int] = {1: 255, 2: 255, 3: 128, 4: 24, 5: 12}
+
+_FAMILY_CACHE: Dict[Tuple[int, int], List[int]] = {}
+
+
+class FamilyWidthError(ValueError):
+    """Requested (r, width) exceeds what GF(256) can support."""
+
+
+def batch_det(mats: np.ndarray) -> np.ndarray:
+    """Determinants of a batch of small square GF(256) matrices.
+
+    Args:
+        mats: uint8 array of shape (N, s, s), s <= 6.
+
+    Returns:
+        uint8 array of shape (N,) with each determinant.
+    """
+    mats = np.asarray(mats, dtype=np.uint8)
+    n, s, s2 = mats.shape
+    if s != s2:
+        raise ValueError("matrices must be square")
+    if s == 1:
+        return mats[:, 0, 0]
+    if s == 2:
+        return _MUL_TABLE[mats[:, 0, 0], mats[:, 1, 1]] ^ _MUL_TABLE[
+            mats[:, 0, 1], mats[:, 1, 0]
+        ]
+    # Laplace expansion along the first row (char 2: no signs).
+    out = np.zeros(n, dtype=np.uint8)
+    cols = np.arange(s)
+    for j in range(s):
+        minor_cols = cols[cols != j]
+        minor = mats[:, 1:, :][:, :, minor_cols]
+        out ^= _MUL_TABLE[mats[:, 0, j], batch_det(minor)]
+    return out
+
+
+def vandermonde_parity(points: List[int], width: int) -> np.ndarray:
+    """Parity block P[t, j] = points[j] ** t, shape (width, r)."""
+    out = np.zeros((width, len(points)), dtype=np.uint8)
+    for j, p in enumerate(points):
+        for t in range(width):
+            out[t, j] = gf_pow(p, t)
+    return out
+
+
+def _submatrix_count(width: int, r: int) -> int:
+    from math import comb
+
+    return sum(comb(width, s) * comb(r, s) for s in range(1, r + 1))
+
+
+def _check_size(parity: np.ndarray, size: int, rng: Optional[np.random.Generator]) -> bool:
+    """Check all (or a sample of) size x size submatrices are nonsingular."""
+    from math import comb
+
+    width, r = parity.shape
+    col_sets = list(combinations(range(r), size))
+    n_row_sets = comb(width, size)
+    if rng is None or n_row_sets * len(col_sets) <= SAMPLE_COUNT:
+        row_sets = np.array(list(combinations(range(width), size)), dtype=np.intp)
+    else:
+        per_colset = max(1, SAMPLE_COUNT // len(col_sets))
+        row_sets = np.stack(
+            [
+                np.sort(rng.choice(width, size=size, replace=False))
+                for _ in range(per_colset)
+            ]
+        )
+    for cols in col_sets:
+        sub = parity[row_sets][:, :, list(cols)]  # (N, size, size)
+        if np.any(batch_det(sub) == 0):
+            return False
+    return True
+
+
+def is_superregular_parity(parity: np.ndarray, exhaustive: Optional[bool] = None) -> bool:
+    """True if every square submatrix of ``parity`` is nonsingular.
+
+    Falls back to seeded sampling when the exhaustive determinant count
+    exceeds :data:`EXHAUSTIVE_DET_LIMIT` (unless ``exhaustive`` forces it).
+    """
+    width, r = parity.shape
+    if exhaustive is None:
+        exhaustive = _submatrix_count(width, r) <= EXHAUSTIVE_DET_LIMIT
+    rng = None if exhaustive else np.random.default_rng(0xC0DE)
+    for size in range(1, min(width, r) + 1):
+        if not _check_size(parity, size, rng):
+            return False
+    return True
+
+
+def _candidate_exponent_tuples(r: int):
+    """Deterministic stream of candidate exponent tuples for the points.
+
+    Points are powers of the field generator g: alpha_j = g ** a_j. The
+    2x2 superregularity condition requires (a_j - a_l) * (t - s) != 0
+    mod 255 for all used row gaps, so exponent *differences* coprime to
+    255 are strongly preferred; we enumerate those first.
+    """
+    units = [d for d in range(1, 255) if np.gcd(d, 255) == 1]
+    # Arithmetic progressions with unit step.
+    for step in units[:64]:
+        yield tuple((j * step) % 255 for j in range(r))
+    # Then general combinations with unit pairwise differences.
+    seen = 0
+    for combo in combinations(units[:40], r - 1):
+        exps = (0,) + combo
+        diffs = {(b - a) % 255 for a in exps for b in exps if a != b}
+        if all(np.gcd(d, 255) == 1 for d in diffs):
+            yield exps
+            seen += 1
+            if seen > 500:
+                return
+
+
+def find_family_points(r: int, width: int) -> List[int]:
+    """Find (and verify) r evaluation points superregular up to ``width``.
+
+    Results are cached; a cached family for a wider width satisfies any
+    narrower request for the same r.
+
+    Raises:
+        RuntimeError: if no verified point set is found.
+    """
+    if r < 1:
+        raise ValueError("r must be >= 1")
+    if width < 1:
+        raise ValueError("width must be >= 1")
+    max_width = MAX_FEASIBLE_WIDTH.get(r)
+    if max_width is None:
+        raise FamilyWidthError(
+            f"no convertible-code families with r={r} over GF(256); "
+            "use repro.codes.costmodel for analytical results"
+        )
+    if width > max_width:
+        raise FamilyWidthError(
+            f"r={r} convertible-code families over GF(256) are verified "
+            f"only up to width {max_width} (requested {width}); use "
+            "repro.codes.costmodel for wider analytical results"
+        )
+    for (cr, cw), pts in _FAMILY_CACHE.items():
+        if cr == r and cw >= width:
+            return pts
+    if r == 1:
+        # Any nonzero point works: 1x1 submatrices are powers, all nonzero.
+        pts = [GF256.element(1)]
+        _FAMILY_CACHE[(r, 255)] = pts
+        return pts
+    for exps in list(CURATED_EXPONENTS.get(r, [])) + list(
+        _candidate_exponent_tuples(r)
+    ):
+        points = [GF256.element(e) for e in exps]
+        if len(set(points)) != r:
+            continue
+        parity = vandermonde_parity(points, width)
+        if is_superregular_parity(parity):
+            _FAMILY_CACHE[(r, width)] = points
+            return points
+    raise RuntimeError(
+        f"no verified convertible-code points found for r={r}, width={width}"
+    )

@@ -1,0 +1,35 @@
+"""Systematic Reed-Solomon codes over GF(256).
+
+The parity block is a Cauchy matrix, so every square submatrix is
+nonsingular and ``[I | C]`` is MDS for any k + r <= 256. This is the
+baseline code of the paper: today's DFSs (HDFS-EC et al.) store mid-life
+data in RS(k, n) and transcode by reading *all* data chunks.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.codes.base import ErasureCode
+from repro.gf.matrix import cauchy_matrix, gf_identity
+
+
+class ReedSolomon(ErasureCode):
+    """RS(k, n): tolerates any n - k erasures; transcode reads all data."""
+
+    def __init__(self, k: int, n: int):
+        super().__init__(k, n)
+        if n > 256:
+            raise ValueError("RS over GF(256) supports stripes up to n=256")
+        self._generator = self._build_generator()
+
+    def _build_generator(self) -> np.ndarray:
+        # xs index parities, ys index data symbols; disjoint by construction.
+        xs = list(range(self.k, self.k + self.r))
+        ys = list(range(self.k))
+        parity = cauchy_matrix(xs, ys)  # (r, k)
+        return np.concatenate([gf_identity(self.k), parity], axis=0)
+
+    @property
+    def generator(self) -> np.ndarray:
+        return self._generator

@@ -1,0 +1,160 @@
+"""Disk-adaptive redundancy on top of Convertible Codes.
+
+The paper's related work (§8) observes that disk-adaptive redundancy
+systems (HeART, Pacemaker, Tiger) change EC parameters as fleet failure
+rates drift with disk age, and that their remaining pain — the bulk IO of
+re-encoding whole cohorts — is exactly what Morph's native CC transcode
+removes. This module builds that composition:
+
+* a bathtub AFR curve models how a disk cohort's failure rate evolves;
+* :class:`AdaptiveRedundancyPlanner` picks, per cohort age, the cheapest
+  scheme from a CC-friendly ladder that still meets a durability target;
+* the emitted transitions are costed under RRW (what HeART-era systems
+  pay) versus native CC (what Morph pays), yielding the transition-IO
+  series those papers plot as "IO spikes".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.codes.costmodel import convertible_cost, rrw_cost
+from repro.core.durability import FailureEnvironment, annual_loss_probability
+from repro.core.schemes import CodeKind, ECScheme
+
+
+@dataclass(frozen=True)
+class BathtubCurve:
+    """Annualised failure rate of a disk cohort as a function of age.
+
+    Classic three-phase shape: infant mortality decaying over the first
+    year, a useful-life floor, and wear-out growth after ``wearout_years``.
+    """
+
+    infant_afr: float = 0.06
+    floor_afr: float = 0.012
+    wearout_years: float = 4.0
+    wearout_slope: float = 0.03  # AFR added per year past wear-out
+
+    def afr(self, age_years: float) -> float:
+        if age_years < 0:
+            raise ValueError("age must be non-negative")
+        infant = (self.infant_afr - self.floor_afr) * np.exp(-3.0 * age_years)
+        wearout = max(0.0, age_years - self.wearout_years) * self.wearout_slope
+        return float(self.floor_afr + infant + wearout)
+
+
+#: The CC-friendly scheme ladder the planner chooses from: one family
+#: (r = 3), widths in integral-multiple steps so every adjacent move is a
+#: pure merge or split.
+DEFAULT_LADDER: Tuple[ECScheme, ...] = (
+    ECScheme(CodeKind.CC, 6, 9),
+    ECScheme(CodeKind.CC, 12, 15),
+    ECScheme(CodeKind.CC, 24, 27),
+)
+
+
+@dataclass
+class AdaptiveTransition:
+    """One fleet-wide scheme change for a cohort."""
+
+    month: int
+    source: ECScheme
+    target: ECScheme
+    #: per-logical-byte disk IO under each execution strategy
+    rrw_io: float
+    cc_io: float
+
+
+@dataclass
+class AdaptivePlan:
+    """Scheme schedule + transition costs for one cohort's lifetime."""
+
+    schedule: List[ECScheme] = field(default_factory=list)  # per month
+    transitions: List[AdaptiveTransition] = field(default_factory=list)
+
+    def io_series(self, strategy: str, months: Optional[int] = None) -> np.ndarray:
+        """Per-month transition IO (per logical byte) for a strategy."""
+        months = months or len(self.schedule)
+        out = np.zeros(months)
+        for t in self.transitions:
+            if t.month < months:
+                out[t.month] += t.rrw_io if strategy == "rrw" else t.cc_io
+        return out
+
+    @property
+    def total_rrw_io(self) -> float:
+        return sum(t.rrw_io for t in self.transitions)
+
+    @property
+    def total_cc_io(self) -> float:
+        return sum(t.cc_io for t in self.transitions)
+
+
+class AdaptiveRedundancyPlanner:
+    """Chooses the cheapest durable scheme per cohort age (HeART-style).
+
+    For each month of a cohort's life, the planner evaluates the ladder
+    under the current AFR and picks the most space-efficient scheme whose
+    annual data-loss probability (across ``groups`` protection groups)
+    stays below ``loss_budget``. Scheme changes become transitions costed
+    under both RRW and native CC.
+    """
+
+    def __init__(
+        self,
+        curve: Optional[BathtubCurve] = None,
+        ladder: Sequence[ECScheme] = DEFAULT_LADDER,
+        loss_budget: float = 1e-7,
+        groups: int = 100_000,
+        mttr_hours: float = 12.0,
+    ):
+        self.curve = curve or BathtubCurve()
+        self.ladder = list(ladder)
+        self.loss_budget = loss_budget
+        self.groups = groups
+        self.mttr_hours = mttr_hours
+
+    def scheme_for_afr(self, afr: float) -> ECScheme:
+        """Most space-efficient ladder scheme meeting the loss budget."""
+        env = FailureEnvironment(afr=afr, mttr_hours=self.mttr_hours)
+        best = None
+        for scheme in self.ladder:
+            p = annual_loss_probability(scheme, env, groups=self.groups)
+            if p <= self.loss_budget:
+                if best is None or scheme.storage_overhead < best.storage_overhead:
+                    best = scheme
+        # Nothing qualifies: take the most durable (lowest loss) option.
+        if best is None:
+            best = min(
+                self.ladder,
+                key=lambda s: annual_loss_probability(s, env, groups=self.groups),
+            )
+        return best
+
+    def plan(self, months: int = 72) -> AdaptivePlan:
+        """Monthly schedule + transitions over a cohort lifetime."""
+        plan = AdaptivePlan()
+        current: Optional[ECScheme] = None
+        for month in range(months):
+            afr = self.curve.afr(month / 12.0)
+            scheme = self.scheme_for_afr(afr)
+            plan.schedule.append(scheme)
+            if current is not None and scheme != current:
+                rrw = rrw_cost(current.k, current.r, scheme.k, scheme.r).disk_io
+                cc = convertible_cost(current.k, current.r, scheme.k, scheme.r).disk_io
+                plan.transitions.append(
+                    AdaptiveTransition(month, current, scheme, rrw, cc)
+                )
+            current = scheme
+        return plan
+
+    def savings(self, months: int = 72) -> float:
+        """Fractional transition-IO saving of CC execution over RRW."""
+        plan = self.plan(months)
+        if plan.total_rrw_io == 0:
+            return 0.0
+        return 1.0 - plan.total_cc_io / plan.total_rrw_io

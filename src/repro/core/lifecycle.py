@@ -1,0 +1,148 @@
+"""File lifetime model (paper Fig 2).
+
+A file is *hot* at ingest, then cools through *warm*, *cool* and *frigid*
+phases; each phase boundary triggers a transcode to a wider, more
+space-efficient scheme. A :class:`LifetimePolicy` is the schedule of
+(age, scheme) stages a data service programs for its files — the paper
+notes >75% of production transcodes follow such pre-determined schedules,
+which is what lets Morph plan placement (k*) and pick CC-friendly
+parameters at ingest time.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import List, Sequence
+
+from repro.core.schemes import (
+    CodeKind,
+    ECScheme,
+    HybridScheme,
+    RedundancyScheme,
+    Replication,
+    lcm_of_widths,
+)
+
+
+class LifetimePhase(enum.Enum):
+    HOT = "hot"
+    WARM = "warm"
+    COOL = "cool"
+    FRIGID = "frigid"
+
+
+@dataclass(frozen=True)
+class LifetimeStage:
+    """One stage of a file's life: from ``start_age`` onwards, use ``scheme``."""
+
+    start_age: float  # seconds since ingest
+    scheme: RedundancyScheme
+    phase: LifetimePhase
+
+
+class LifetimePolicy:
+    """An ordered schedule of redundancy schemes over a file's life."""
+
+    def __init__(self, stages: Sequence[LifetimeStage]):
+        if not stages:
+            raise ValueError("a lifetime policy needs at least one stage")
+        if stages[0].start_age != 0:
+            raise ValueError("first stage must start at age 0 (ingest)")
+        ages = [s.start_age for s in stages]
+        if ages != sorted(ages):
+            raise ValueError("stages must be in increasing age order")
+        self.stages: List[LifetimeStage] = list(stages)
+
+    def scheme_at(self, age: float) -> RedundancyScheme:
+        """The scheme a file of the given age should be stored in."""
+        current = self.stages[0].scheme
+        for stage in self.stages:
+            if age >= stage.start_age:
+                current = stage.scheme
+            else:
+                break
+        return current
+
+    def stage_index_at(self, age: float) -> int:
+        idx = 0
+        for i, stage in enumerate(self.stages):
+            if age >= stage.start_age:
+                idx = i
+        return idx
+
+    def transitions(self) -> List[tuple]:
+        """(age, from_scheme, to_scheme) for each stage boundary."""
+        out = []
+        for prev, nxt in zip(self.stages, self.stages[1:]):
+            out.append((nxt.start_age, prev.scheme, nxt.scheme))
+        return out
+
+    def ec_widths(self) -> List[int]:
+        """Stripe widths (k) of every EC stage, for k* placement planning."""
+        widths = []
+        for stage in self.stages:
+            scheme = stage.scheme
+            if isinstance(scheme, HybridScheme):
+                widths.append(scheme.ec.k)
+            elif isinstance(scheme, ECScheme):
+                widths.append(scheme.k)
+        return widths
+
+    def k_star(self) -> int:
+        """LCM of all potential stripe widths (§5.3 data separation)."""
+        widths = self.ec_widths()
+        return lcm_of_widths(*widths) if widths else 1
+
+
+HOUR = 3600.0
+DAY = 24 * HOUR
+MONTH = 30 * DAY
+
+
+def baseline_microbench_policy(t1: float = 600.0, t2: float = 1500.0) -> LifetimePolicy:
+    """Fig 11a baseline: 3-r -> RS(6,9) -> RS(12,15)."""
+    return LifetimePolicy(
+        [
+            LifetimeStage(0.0, Replication(3), LifetimePhase.HOT),
+            LifetimeStage(t1, ECScheme(CodeKind.RS, 6, 9), LifetimePhase.WARM),
+            LifetimeStage(t2, ECScheme(CodeKind.RS, 12, 15), LifetimePhase.COOL),
+        ]
+    )
+
+
+def morph_microbench_policy(t1: float = 600.0, t2: float = 1500.0) -> LifetimePolicy:
+    """Fig 11b Morph: Hy(1,CC(6,9)) -> CC(6,9) -> CC(12,15)."""
+    cc69 = ECScheme(CodeKind.CC, 6, 9)
+    return LifetimePolicy(
+        [
+            LifetimeStage(0.0, HybridScheme(1, cc69), LifetimePhase.HOT),
+            LifetimeStage(t1, cc69, LifetimePhase.WARM),
+            LifetimeStage(t2, ECScheme(CodeKind.CC, 12, 15), LifetimePhase.COOL),
+        ]
+    )
+
+
+def baseline_macrobench_policy() -> LifetimePolicy:
+    """Fig 11c baseline chain: 3-r -> EC(5,8) -> EC(10,13) -> EC(20,23)."""
+    return LifetimePolicy(
+        [
+            LifetimeStage(0.0, Replication(3), LifetimePhase.HOT),
+            LifetimeStage(60.0, ECScheme(CodeKind.RS, 5, 8), LifetimePhase.WARM),
+            LifetimeStage(180.0, ECScheme(CodeKind.RS, 10, 13), LifetimePhase.COOL),
+            LifetimeStage(360.0, ECScheme(CodeKind.RS, 20, 23), LifetimePhase.FRIGID),
+        ]
+    )
+
+
+def morph_macrobench_policy() -> LifetimePolicy:
+    """Fig 11d Morph chain: Hy(1,CC(5,8)) -> CC(5,8) -> CC(10,13) -> CC(20,23)."""
+    cc58 = ECScheme(CodeKind.CC, 5, 8)
+    return LifetimePolicy(
+        [
+            LifetimeStage(0.0, HybridScheme(1, cc58), LifetimePhase.HOT),
+            LifetimeStage(60.0, cc58, LifetimePhase.WARM),
+            LifetimeStage(180.0, ECScheme(CodeKind.CC, 10, 13), LifetimePhase.COOL),
+            LifetimeStage(360.0, ECScheme(CodeKind.CC, 20, 23), LifetimePhase.FRIGID),
+        ]
+    )

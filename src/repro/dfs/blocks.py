@@ -1,0 +1,141 @@
+"""System block metadata (paper §6.1).
+
+A file is a list of blocks. A *hybrid block* is a single metadata entity
+nesting one EC stripe and its replica blocks — keeping it one entity is
+what makes the hybrid -> EC transition a pure metadata change (drop the
+replica list) and simplifies recovery lookups.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+from repro.core.schemes import RedundancyScheme
+
+
+class ChunkKind(enum.Enum):
+    DATA = "data"
+    PARITY = "parity"
+    LOCAL_PARITY = "local_parity"
+    GLOBAL_PARITY = "global_parity"
+    REPLICA = "replica"
+
+
+class FileState(enum.Enum):
+    HEALTHY = "healthy"
+    TRANSCODING = "transcoding"
+
+
+@dataclass
+class ChunkMeta:
+    """One stored chunk: where it lives and what role it plays."""
+
+    chunk_id: str
+    node_id: str
+    kind: ChunkKind
+    size: int
+
+    def __hash__(self):
+        return hash(self.chunk_id)
+
+
+@dataclass
+class ECStripeMeta:
+    """One EC stripe: k data chunks + parity chunks, in stripe order."""
+
+    stripe_index: int
+    k: int
+    n: int
+    data: List[ChunkMeta] = field(default_factory=list)
+    parities: List[ChunkMeta] = field(default_factory=list)
+
+    @property
+    def r(self) -> int:
+        return self.n - self.k
+
+    def all_chunks(self) -> List[ChunkMeta]:
+        return self.data + self.parities
+
+    def node_ids(self) -> List[str]:
+        return [c.node_id for c in self.all_chunks()]
+
+
+@dataclass
+class ReplicaBlockMeta:
+    """One replicated block: identical copies of a span of file data."""
+
+    block_index: int
+    #: first data-chunk index the block covers, and how many chunks
+    first_chunk: int
+    n_chunks: int
+    copies: List[ChunkMeta] = field(default_factory=list)
+
+
+@dataclass
+class HybridBlockMeta:
+    """Hybrid block: an EC stripe joined to its replica blocks (§6.1)."""
+
+    stripe: ECStripeMeta
+    replicas: List[ReplicaBlockMeta] = field(default_factory=list)
+
+
+@dataclass
+class FileMeta:
+    """Namespace entry: scheme, layout and transcode state of one file."""
+
+    name: str
+    size: int
+    chunk_size: int
+    scheme: RedundancyScheme
+    #: EC stripes in file order (empty for pure replication)
+    stripes: List[ECStripeMeta] = field(default_factory=list)
+    #: replica blocks in file order (empty for pure EC)
+    replica_blocks: List[ReplicaBlockMeta] = field(default_factory=list)
+    state: FileState = FileState.HEALTHY
+    #: monotonically bumped on each completed transcode (metadata epoch)
+    version: int = 0
+
+    @property
+    def is_hybrid(self) -> bool:
+        return bool(self.stripes) and bool(self.replica_blocks)
+
+    @property
+    def n_data_chunks(self) -> int:
+        if self.stripes:
+            return sum(s.k for s in self.stripes)
+        return sum(b.n_chunks for b in self.replica_blocks)
+
+    def hybrid_blocks(self) -> List[HybridBlockMeta]:
+        """Nested hybrid view: each stripe with the replicas covering it."""
+        out = []
+        for stripe in self.stripes:
+            first = stripe.stripe_index * stripe.k
+            last = first + stripe.k
+            covering = [
+                b
+                for b in self.replica_blocks
+                if b.first_chunk < last and b.first_chunk + b.n_chunks > first
+            ]
+            out.append(HybridBlockMeta(stripe=stripe, replicas=covering))
+        return out
+
+    def chunk_by_id(self, chunk_id: str) -> Optional[ChunkMeta]:
+        for stripe in self.stripes:
+            for chunk in stripe.all_chunks():
+                if chunk.chunk_id == chunk_id:
+                    return chunk
+        for block in self.replica_blocks:
+            for chunk in block.copies:
+                if chunk.chunk_id == chunk_id:
+                    return chunk
+        return None
+
+    def all_chunks(self) -> List[ChunkMeta]:
+        out: List[ChunkMeta] = []
+        for stripe in self.stripes:
+            out.extend(stripe.all_chunks())
+        for block in self.replica_blocks:
+            out.extend(block.copies)
+        return out

@@ -1,0 +1,190 @@
+"""Client read paths (§4.3, §6.1).
+
+Strategy selection mirrors Morph:
+
+* **Replica-first** for latency-sensitive reads: hybrid and replicated
+  files read from a live replica; dead/missing replicas fall through to
+  the next copy, then to the stripe.
+* **Striped** for throughput-bound scans: a stripe-spanning read pulls
+  all k data chunks in parallel (the caller opts in, or the read spans a
+  whole stripe).
+* **Degraded** only as a last resort: a data chunk with no live replica
+  and no live home decodes from k surviving stripe chunks (metered reads
+  plus decode CPU).
+
+All byte movement is metered: disk reads at the owning Datanode, one
+network transfer per chunk delivered to the reading client.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+import numpy as np
+
+from repro.codes.base import DecodeError
+from repro.dfs.blocks import ECStripeMeta, FileMeta, ReplicaBlockMeta
+
+
+class ReadError(Exception):
+    """The requested range cannot be served from any copy."""
+
+
+class ClientReader:
+    """Reads file ranges through a DFS's datanodes with Morph's strategy."""
+
+    CLIENT = "client"
+
+    def __init__(self, fs):
+        self.fs = fs
+
+    # -- public ------------------------------------------------------------
+    def read(
+        self,
+        meta: FileMeta,
+        offset: int = 0,
+        length: Optional[int] = None,
+        prefer_striped: bool = False,
+    ) -> np.ndarray:
+        """Read ``length`` bytes at ``offset``; returns the exact bytes."""
+        if length is None:
+            length = meta.size - offset
+        if offset < 0 or offset + length > meta.size:
+            raise ValueError(f"range [{offset}, {offset + length}) outside file")
+        if meta.stripes:
+            span = meta.stripes[0].k * meta.chunk_size
+            spans_whole_stripe = length >= span
+            use_striped = (prefer_striped or spans_whole_stripe or not meta.replica_blocks)
+            if meta.is_hybrid and not use_striped:
+                data = self._read_from_replicas(meta, offset, length)
+                if data is not None:
+                    return data
+            return self._read_striped(meta, offset, length)
+        data = self._read_from_replicas(meta, offset, length)
+        if data is None:
+            raise ReadError(f"{meta.name}: no live replica for [{offset}, {offset+length})")
+        return data
+
+    # -- replica path ----------------------------------------------------------
+    def _read_from_replicas(
+        self, meta: FileMeta, offset: int, length: int
+    ) -> Optional[np.ndarray]:
+        out = np.zeros(length, dtype=np.uint8)
+        pos = offset
+        end = offset + length
+        while pos < end:
+            block = self._block_covering(meta, pos)
+            if block is None:
+                return None
+            block_start = block.first_chunk * meta.chunk_size
+            block_len = block.n_chunks * meta.chunk_size
+            take = min(end, block_start + block_len) - pos
+            piece = self._read_replica_block(block, pos - block_start, take)
+            if piece is None:
+                return None
+            out[pos - offset : pos - offset + take] = piece
+            pos += take
+        return out
+
+    def _block_covering(self, meta: FileMeta, pos: int) -> Optional[ReplicaBlockMeta]:
+        chunk_index = pos // meta.chunk_size
+        for block in meta.replica_blocks:
+            if block.first_chunk <= chunk_index < block.first_chunk + block.n_chunks:
+                return block
+        return None
+
+    def _read_replica_block(
+        self, block: ReplicaBlockMeta, start: int, length: int
+    ) -> Optional[np.ndarray]:
+        for copy in block.copies:
+            datanode = self.fs.datanodes[copy.node_id]
+            if not datanode.is_alive or not datanode.has_chunk(copy.chunk_id):
+                continue
+            piece = datanode.read_range(copy.chunk_id, start, length, at=self.fs.clock)
+            self.fs.metrics.record_transfer(copy.node_id, self.CLIENT, float(length))
+            return piece
+        return None
+
+    # -- striped path ------------------------------------------------------------
+    def _read_striped(self, meta: FileMeta, offset: int, length: int) -> np.ndarray:
+        out = np.zeros(length, dtype=np.uint8)
+        chunk_size = meta.chunk_size
+        pos = offset
+        end = offset + length
+        while pos < end:
+            chunk_index = pos // chunk_size
+            within = pos % chunk_size
+            take = min(chunk_size - within, end - pos)
+            data = self._read_data_chunk(meta, chunk_index)
+            out[pos - offset : pos - offset + take] = data[within : within + take]
+            pos += take
+        return out
+
+    def _stripe_of(self, meta: FileMeta, chunk_index: int):
+        passed = 0
+        for stripe in meta.stripes:
+            if chunk_index < passed + stripe.k:
+                return stripe, chunk_index - passed
+            passed += stripe.k
+        raise ReadError(f"{meta.name}: data chunk {chunk_index} beyond file")
+
+    def _read_data_chunk(self, meta: FileMeta, chunk_index: int) -> np.ndarray:
+        stripe, local = self._stripe_of(meta, chunk_index)
+        chunk = stripe.data[local]
+        datanode = self.fs.datanodes[chunk.node_id]
+        if datanode.is_alive and datanode.has_chunk(chunk.chunk_id):
+            data = datanode.read(chunk.chunk_id, at=self.fs.clock)
+            self.fs.metrics.record_transfer(chunk.node_id, self.CLIENT, float(data.nbytes))
+            if self.fs.checksums.verify(chunk.chunk_id, data):
+                return data
+            # Verify-on-read (§6.1): a corrupt chunk is treated as missing.
+            datanode.delete(chunk.chunk_id)
+        # Hybrid fast path for degraded reads: serve from a replica (§4.3).
+        if meta.replica_blocks:
+            block = self._block_covering(meta, chunk_index * meta.chunk_size)
+            if block is not None:
+                start = (chunk_index - block.first_chunk) * meta.chunk_size
+                piece = self._read_replica_block(block, start, meta.chunk_size)
+                if piece is not None:
+                    return piece
+        return self._degraded_read(meta, stripe, local)
+
+    def _degraded_read(self, meta: FileMeta, stripe: ECStripeMeta, local: int) -> np.ndarray:
+        """Decode a missing data chunk from k surviving stripe chunks."""
+        code = self.fs.codec_for_stripe(meta, stripe)
+        chunks = stripe.all_chunks()
+
+        def try_fetch(idx: int, available: Dict[int, np.ndarray]) -> bool:
+            chunk = chunks[idx]
+            datanode = self.fs.datanodes[chunk.node_id]
+            if datanode.is_alive and datanode.has_chunk(chunk.chunk_id):
+                data = datanode.read(chunk.chunk_id, at=self.fs.clock)
+                self.fs.metrics.record_transfer(
+                    chunk.node_id, self.CLIENT, float(data.nbytes)
+                )
+                available[idx] = data
+                return True
+            return False
+
+        available: Dict[int, np.ndarray] = {}
+        # LRC-family codes: try the cheap local-repair set first (k/l reads).
+        if hasattr(code, "group_members"):
+            peers = [m for m in code.group_members(code.group_of(local)) if m != local]
+            if all(try_fetch(m, available) for m in peers):
+                recovered = code.decode(available, [local])
+                self.fs.charge_client_decode(code, meta.chunk_size, width=len(peers))
+                return recovered[local]
+        for idx in range(len(chunks)):
+            if idx == local or idx in available:
+                continue
+            if try_fetch(idx, available):
+                if len(available) >= stripe.k:
+                    break
+        try:
+            recovered = code.decode(available, [local])
+        except DecodeError as exc:
+            raise ReadError(
+                f"{meta.name}: stripe {stripe.stripe_index} unrecoverable"
+            ) from exc
+        self.fs.charge_client_decode(code, meta.chunk_size, width=stripe.k)
+        return recovered[local]

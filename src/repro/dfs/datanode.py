@@ -1,0 +1,139 @@
+"""Datanode: chunk storage with a battery-backed buffer cache.
+
+A chunk received into memory is durable (battery-backed RAM, §4.2) but
+costs no disk IO until persisted. Morph's hybrid write protocol exploits
+exactly this: temporary replicas live in memory and are deleted once the
+stripe's parities persist, so in the common case they never touch disk.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+import numpy as np
+
+from repro.cluster.metrics import IOMetrics
+
+
+class ChunkNotFoundError(KeyError):
+    """Requested chunk is on neither disk nor memory of this node."""
+
+
+class BufferCacheFullError(RuntimeError):
+    """The battery-backed buffer cache cannot absorb another chunk."""
+
+
+class Datanode:
+    """One storage server: disk map + bounded buffer cache + counters."""
+
+    def __init__(
+        self,
+        node_id: str,
+        metrics: IOMetrics,
+        buffer_cache_bytes: float = 512 * 1024 * 1024,
+    ):
+        self.node_id = node_id
+        self.metrics = metrics
+        self.buffer_cache_bytes = buffer_cache_bytes
+        self._disk: Dict[str, np.ndarray] = {}
+        self._memory: Dict[str, np.ndarray] = {}
+        self.is_alive = True
+
+    # -- ingest ---------------------------------------------------------------
+    def receive_to_memory(self, chunk_id: str, data: np.ndarray, src: str) -> None:
+        """Absorb a chunk into the buffer cache (durable, no disk IO)."""
+        data = np.asarray(data, dtype=np.uint8)
+        in_use = self.metrics.node(self.node_id).memory_in_use_bytes
+        if in_use + data.nbytes > self.buffer_cache_bytes:
+            raise BufferCacheFullError(
+                f"{self.node_id}: buffer cache full ({in_use} + {data.nbytes})"
+            )
+        self.metrics.record_transfer(src, self.node_id, data.nbytes)
+        self.metrics.node(self.node_id).use_memory(data.nbytes)
+        self._memory[chunk_id] = data.copy()
+
+    def receive_to_disk(self, chunk_id: str, data: np.ndarray, src: str, at: float = 0.0) -> None:
+        """Receive and write through to disk (one network + one disk write)."""
+        data = np.asarray(data, dtype=np.uint8)
+        self.metrics.record_transfer(src, self.node_id, data.nbytes)
+        self.metrics.record_disk_write(self.node_id, data.nbytes, at=at)
+        self._disk[chunk_id] = data.copy()
+
+    def persist(self, chunk_id: str, at: float = 0.0) -> None:
+        """Flush a buffered chunk to disk (frees the cache slot)."""
+        if chunk_id not in self._memory:
+            if chunk_id in self._disk:
+                return  # already persisted
+            raise ChunkNotFoundError(chunk_id)
+        data = self._memory.pop(chunk_id)
+        self.metrics.node(self.node_id).free_memory(data.nbytes)
+        self.metrics.record_disk_write(self.node_id, data.nbytes, at=at)
+        self._disk[chunk_id] = data
+
+    def drop_from_memory(self, chunk_id: str) -> None:
+        """Discard a buffered chunk without any disk IO (temp replicas)."""
+        data = self._memory.pop(chunk_id, None)
+        if data is not None:
+            self.metrics.node(self.node_id).free_memory(data.nbytes)
+
+    # -- reads ----------------------------------------------------------------
+    def read(self, chunk_id: str, at: float = 0.0) -> np.ndarray:
+        """Read a chunk; disk reads are metered, memory hits are free."""
+        if not self.is_alive:
+            raise ChunkNotFoundError(f"{self.node_id} is down")
+        if chunk_id in self._memory:
+            return self._memory[chunk_id]
+        if chunk_id in self._disk:
+            data = self._disk[chunk_id]
+            self.metrics.record_disk_read(self.node_id, data.nbytes, at=at)
+            return data
+        raise ChunkNotFoundError(chunk_id)
+
+    def read_range(self, chunk_id: str, start: int, length: int, at: float = 0.0) -> np.ndarray:
+        """Partial chunk read (metered at the requested length)."""
+        if not self.is_alive:
+            raise ChunkNotFoundError(f"{self.node_id} is down")
+        if chunk_id in self._memory:
+            return self._memory[chunk_id][start : start + length]
+        if chunk_id in self._disk:
+            self.metrics.record_disk_read(self.node_id, float(length), at=at)
+            return self._disk[chunk_id][start : start + length]
+        raise ChunkNotFoundError(chunk_id)
+
+    def has_chunk(self, chunk_id: str) -> bool:
+        return chunk_id in self._disk or chunk_id in self._memory
+
+    def chunk_on_disk(self, chunk_id: str) -> bool:
+        return chunk_id in self._disk
+
+    # -- local compute ----------------------------------------------------------
+    def store_local(self, chunk_id: str, data: np.ndarray, at: float = 0.0) -> None:
+        """Write a locally computed chunk to disk (no network)."""
+        data = np.asarray(data, dtype=np.uint8)
+        self.metrics.record_disk_write(self.node_id, data.nbytes, at=at)
+        self._disk[chunk_id] = data.copy()
+
+    def charge_cpu(self, seconds: float) -> None:
+        self.metrics.record_cpu(self.node_id, seconds)
+
+    # -- deletion / capacity ------------------------------------------------------
+    def delete(self, chunk_id: str) -> None:
+        self._disk.pop(chunk_id, None)
+        self.drop_from_memory(chunk_id)
+
+    def bytes_at_rest(self) -> float:
+        return float(sum(c.nbytes for c in self._disk.values()))
+
+    def memory_bytes(self) -> float:
+        return float(sum(c.nbytes for c in self._memory.values()))
+
+    def disk_chunk_ids(self):
+        return list(self._disk)
+
+    def fail(self) -> None:
+        """Crash the node: disk survives but is unreachable; memory is lost
+        only conceptually (battery-backed) — we keep it for restart."""
+        self.is_alive = False
+
+    def recover(self) -> None:
+        self.is_alive = True

@@ -1,0 +1,630 @@
+"""MorphFS and BaselineDFS: the two DFS personalities (§3, §6).
+
+Both share Namenode/Datanode/placement machinery; they differ only in
+policy:
+
+=================  ==========================  ============================
+                   BaselineDFS                 MorphFS
+=================  ==========================  ============================
+ingest             3-way replication or RS     hybrid Hy(c, EC) (§4.2)
+codes              RS / LRC                    CC / LRCC
+placement          per-stripe random           k*-window + parity co-location
+transcode          client RRW                  native (ATQ/UTM, CC merges)
+=================  ==========================  ============================
+"""
+
+from __future__ import annotations
+
+import zlib
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.cluster.metrics import IOMetrics
+from repro.cluster.placement import DefaultPlacement, TranscodeAwarePlacement
+from repro.cluster.topology import Cluster
+from repro.codes.convertible import ConvertibleCode
+from repro.codes.lrcc import LocallyRecoverableConvertibleCode
+from repro.core.planner import TranscodeKind, TranscodePlanner
+from repro.core.schemes import (
+    CodeKind,
+    ECScheme,
+    HybridScheme,
+    RedundancyScheme,
+    Replication,
+)
+from repro.dfs.blocks import (
+    ChunkKind,
+    ChunkMeta,
+    ECStripeMeta,
+    FileMeta,
+    ReplicaBlockMeta,
+)
+from repro.dfs.appends import AppendSupport
+from repro.dfs.client import ClientReader
+from repro.dfs.namenode import ConversionGroup, Namenode
+from repro.dfs.transcoder import NativeTranscoder, RRWTranscoder, TranscodeError
+
+MB = 1024 * 1024
+CLIENT = "client"
+
+
+class _BaseDFS:
+    """Shared substrate: datanodes, namespace, reads, deletes, codecs."""
+
+    def __init__(
+        self,
+        cluster: Optional[Cluster] = None,
+        chunk_size: int = 64 * 1024,
+        replication_block_chunks: int = 8,
+        seed: int = 0,
+    ):
+        from repro.dfs.datanode import Datanode
+
+        self.cluster = cluster or Cluster()
+        self.chunk_size = chunk_size
+        self.replication_block_chunks = replication_block_chunks
+        self.metrics = IOMetrics()
+        self.datanodes: Dict[str, Datanode] = {
+            node.node_id: Datanode(
+                node.node_id, self.metrics, self.cluster.spec.buffer_cache_bytes
+            )
+            for node in self.cluster.nodes
+        }
+        from repro.dfs.integrity import ChecksumRegistry
+
+        self.namenode = Namenode()
+        self.checksums = ChecksumRegistry()
+        self.planner = TranscodePlanner()
+        self.reader = ClientReader(self)
+        self.clock = 0.0
+        self.seed = seed
+        self._cc_cache: Dict[Tuple[int, int], ConvertibleCode] = {}
+        self._lrcc_cache: Dict[Tuple[int, int, int], LocallyRecoverableConvertibleCode] = {}
+        self._codec_cache: Dict[ECScheme, object] = {}
+
+    # -- codecs ---------------------------------------------------------------
+    def codec_for(self, ec: ECScheme):
+        if ec not in self._codec_cache:
+            self._codec_cache[ec] = ec.make_code()
+        return self._codec_cache[ec]
+
+    def cc_codec(self, k: int, n: int) -> ConvertibleCode:
+        key = (k, n)
+        if key not in self._cc_cache:
+            self._cc_cache[key] = ConvertibleCode(k, n)
+        return self._cc_cache[key]
+
+    def lrcc_codec(self, k: int, l: int, r_global: int) -> LocallyRecoverableConvertibleCode:
+        key = (k, l, r_global)
+        if key not in self._lrcc_cache:
+            self._lrcc_cache[key] = LocallyRecoverableConvertibleCode(k, l, r_global)
+        return self._lrcc_cache[key]
+
+    def codec_for_stripe(self, meta: FileMeta, stripe: ECStripeMeta):
+        """Codec matching a stripe's actual (possibly tail-short) width."""
+        scheme = meta.scheme
+        ec = scheme.ec if isinstance(scheme, HybridScheme) else scheme
+        if not isinstance(ec, ECScheme):
+            raise ValueError(f"{meta.name} has no EC component")
+        if ec.kind in (CodeKind.LRC, CodeKind.LRCC) and stripe.k == ec.k:
+            return self.codec_for(ec)
+        if stripe.k == ec.k and stripe.n == ec.n:
+            return self.codec_for(ec)
+        # Tail stripe with its own width; same family, same parity count.
+        if ec.kind is CodeKind.CC:
+            return self.cc_codec(stripe.k, stripe.n)
+        from repro.codes.rs import ReedSolomon
+
+        return ReedSolomon(stripe.k, stripe.n)
+
+    # -- CPU accounting -----------------------------------------------------------
+    def encode_cpu_seconds(self, width: int, out_parities: int, nbytes: float) -> float:
+        rate = self.cluster.spec.cpu.encode_mb_s * MB
+        return width * out_parities * nbytes / rate
+
+    def charge_client_encode(self, width: int, out_parities: int, nbytes: float) -> None:
+        self.metrics.record_cpu(CLIENT, self.encode_cpu_seconds(width, out_parities, nbytes))
+
+    def charge_client_decode(self, code, nbytes: float, width: Optional[int] = None) -> None:
+        self.metrics.record_cpu(
+            CLIENT, self.encode_cpu_seconds(width or code.k, 1, nbytes)
+        )
+
+    def charge_node_encode(self, node_id: str, width: int, out_parities: int, nbytes: float) -> None:
+        self.metrics.record_cpu(node_id, self.encode_cpu_seconds(width, out_parities, nbytes))
+
+    # -- common operations -------------------------------------------------------
+    def read_file(
+        self,
+        name: str,
+        offset: int = 0,
+        length: Optional[int] = None,
+        prefer_striped: bool = False,
+    ) -> np.ndarray:
+        meta = self.namenode.lookup(name)
+        return self.reader.read(meta, offset, length, prefer_striped=prefer_striped)
+
+    def delete_file(self, name: str) -> None:
+        meta = self.namenode.unregister_file(name)
+        for chunk in meta.all_chunks():
+            self.datanodes[chunk.node_id].delete(chunk.chunk_id)
+            self.checksums.forget(chunk.chunk_id)
+
+    def capacity_used(self) -> float:
+        """Bytes at rest across all datanode disks."""
+        return sum(dn.bytes_at_rest() for dn in self.datanodes.values())
+
+    def memory_used(self) -> float:
+        return sum(dn.memory_bytes() for dn in self.datanodes.values())
+
+    # -- write helpers ----------------------------------------------------------
+    def _data_chunks(self, data: np.ndarray, k: int) -> List[np.ndarray]:
+        """Split into chunk_size pieces, zero-padding the last stripe."""
+        chunks = []
+        for start in range(0, len(data), self.chunk_size):
+            piece = data[start : start + self.chunk_size]
+            if len(piece) < self.chunk_size:
+                padded = np.zeros(self.chunk_size, dtype=np.uint8)
+                padded[: len(piece)] = piece
+                piece = padded
+            chunks.append(np.asarray(piece, dtype=np.uint8))
+        while len(chunks) % k:
+            chunks.append(np.zeros(self.chunk_size, dtype=np.uint8))
+        return chunks
+
+    def _write_replica_pipeline(
+        self,
+        meta: FileMeta,
+        block_index: int,
+        first_chunk: int,
+        n_chunks: int,
+        block_bytes: np.ndarray,
+        nodes: Sequence[str],
+        persist_count: int,
+        to_memory: bool,
+    ) -> ReplicaBlockMeta:
+        """Mirror a block down a chain of nodes (HDFS-style pipeline)."""
+        copies: List[ChunkMeta] = []
+        prev = CLIENT
+        for i, node_id in enumerate(nodes):
+            chunk_id = self.namenode.next_chunk_id(f"{meta.name}/r{block_index}c{i}")
+            datanode = self.datanodes[node_id]
+            if to_memory:
+                datanode.receive_to_memory(chunk_id, block_bytes, src=prev)
+            else:
+                datanode.receive_to_disk(chunk_id, block_bytes, src=prev, at=self.clock)
+            if i < persist_count:
+                self.checksums.record(chunk_id, block_bytes)
+                copies.append(
+                    ChunkMeta(chunk_id, node_id, ChunkKind.REPLICA, block_bytes.nbytes)
+                )
+            prev = node_id
+        if to_memory:
+            for i in range(persist_count):
+                self.datanodes[nodes[i]].persist(copies[i].chunk_id, at=self.clock)
+        return ReplicaBlockMeta(
+            block_index=block_index,
+            first_chunk=first_chunk,
+            n_chunks=n_chunks,
+            copies=copies,
+        )
+
+    def _write_replicated(self, meta: FileMeta, data: np.ndarray, copies: int) -> None:
+        placement = DefaultPlacement(self.cluster, seed=self.seed + zlib.crc32(meta.name.encode()) % 997)
+        span = self.replication_block_chunks * self.chunk_size
+        block_index = 0
+        for start in range(0, max(len(data), 1), span):
+            block = np.asarray(data[start : start + span], dtype=np.uint8)
+            nodes = placement.place_replicas(copies)
+            block_meta = self._write_replica_pipeline(
+                meta,
+                block_index,
+                first_chunk=start // self.chunk_size,
+                n_chunks=(len(block) + self.chunk_size - 1) // self.chunk_size,
+                block_bytes=block,
+                nodes=nodes,
+                persist_count=copies,
+                to_memory=False,
+            )
+            meta.replica_blocks.append(block_meta)
+            block_index += 1
+
+    def _write_ec(self, meta: FileMeta, data: np.ndarray, ec: ECScheme) -> None:
+        """Client-driven EC write: encode locally, fan chunks out."""
+        placement = DefaultPlacement(self.cluster, seed=self.seed + zlib.crc32(meta.name.encode()) % 997)
+        code = self.codec_for(ec)
+        chunks = self._data_chunks(data, ec.k)
+        for s in range(0, len(chunks), ec.k):
+            stripe_chunks = chunks[s : s + ec.k]
+            parities = code.encode(stripe_chunks)
+            self.charge_client_encode(ec.k, ec.n - ec.k, self.chunk_size)
+            spots = placement.place_stripe(ec.k, ec.n - ec.k)
+            stripe_meta = self._store_stripe(
+                meta, s // ec.k, stripe_chunks, parities, spots["data"], spots["parity"], ec
+            )
+            meta.stripes.append(stripe_meta)
+
+    def _store_stripe(
+        self,
+        meta: FileMeta,
+        stripe_index: int,
+        data_chunks: Sequence[np.ndarray],
+        parities: Sequence[np.ndarray],
+        data_nodes: Sequence[str],
+        parity_nodes: Sequence[str],
+        ec: ECScheme,
+        src: str = CLIENT,
+        parity_src: Optional[str] = None,
+    ) -> ECStripeMeta:
+        parity_src = parity_src or src
+        k = len(data_chunks)
+        data_metas: List[ChunkMeta] = []
+        for t, chunk in enumerate(data_chunks):
+            chunk_id = self.namenode.next_chunk_id(f"{meta.name}/s{stripe_index}d{t}")
+            self.datanodes[data_nodes[t]].receive_to_disk(chunk_id, chunk, src=src, at=self.clock)
+            self.checksums.record(chunk_id, chunk)
+            data_metas.append(ChunkMeta(chunk_id, data_nodes[t], ChunkKind.DATA, chunk.nbytes))
+        parity_metas: List[ChunkMeta] = []
+        kinds = self._parity_kinds(ec)
+        for j, parity in enumerate(parities):
+            chunk_id = self.namenode.next_chunk_id(f"{meta.name}/s{stripe_index}p{j}")
+            self.datanodes[parity_nodes[j]].receive_to_disk(
+                chunk_id, parity, src=parity_src, at=self.clock
+            )
+            self.checksums.record(chunk_id, parity)
+            parity_metas.append(
+                ChunkMeta(chunk_id, parity_nodes[j], kinds[j], parity.nbytes)
+            )
+        return ECStripeMeta(
+            stripe_index=stripe_index,
+            k=k,
+            n=k + len(parities),
+            data=data_metas,
+            parities=parity_metas,
+        )
+
+    @staticmethod
+    def _parity_kinds(ec: ECScheme) -> List[ChunkKind]:
+        if ec.kind in (CodeKind.LRC, CodeKind.LRCC):
+            return [ChunkKind.LOCAL_PARITY] * ec.local_groups + [
+                ChunkKind.GLOBAL_PARITY
+            ] * ec.r_global
+        return [ChunkKind.PARITY] * (ec.n - ec.k)
+
+    def write_file(self, name: str, data, scheme: RedundancyScheme) -> FileMeta:
+        raise NotImplementedError
+
+    def transcode(self, name: str, target: RedundancyScheme) -> FileMeta:
+        raise NotImplementedError
+
+
+class BaselineDFS(_BaseDFS):
+    """HDFS-like baseline: 3-r / RS ingest, client RRW transcode."""
+
+    def write_file(self, name: str, data, scheme: RedundancyScheme) -> FileMeta:
+        data = np.asarray(data, dtype=np.uint8).reshape(-1)
+        meta = FileMeta(
+            name=name, size=len(data), chunk_size=self.chunk_size, scheme=scheme
+        )
+        if isinstance(scheme, Replication):
+            self._write_replicated(meta, data, scheme.copies)
+        elif isinstance(scheme, ECScheme):
+            self._write_ec(meta, data, scheme)
+        else:
+            raise ValueError(f"BaselineDFS does not support {scheme}")
+        self.namenode.register_file(meta)
+        return meta
+
+    def transcode(self, name: str, target: RedundancyScheme) -> FileMeta:
+        """RRW: read the file, rewrite it under the target scheme."""
+        return RRWTranscoder(self).transcode(name, target)
+
+
+class MorphFS(AppendSupport, _BaseDFS):
+    """Morph: hybrid ingest, k*-aware placement, native transcode."""
+
+    def __init__(
+        self,
+        cluster: Optional[Cluster] = None,
+        chunk_size: int = 64 * 1024,
+        replication_block_chunks: int = 8,
+        seed: int = 0,
+        future_widths: Optional[Sequence[int]] = None,
+        max_parities: int = 4,
+        transcode_aware: bool = True,
+        parity_mode: str = "async",
+        spanning_protocol: bool = False,
+    ):
+        super().__init__(cluster, chunk_size, replication_block_chunks, seed)
+        self.future_widths = list(future_widths or [])
+        self.max_parities = max_parities
+        #: ablation switch: False disables k*-window planning and parity
+        #: co-location (placement falls back to per-stripe random).
+        self.transcode_aware = transcode_aware
+        #: hybrid parity computation option (§6.1): "async" (Datanode
+        #: striper, the default), "sync" (client computes on its critical
+        #: path), or "none" (durability from c+1 persisted replicas only).
+        if parity_mode not in ("async", "sync", "none"):
+            raise ValueError(f"unknown parity_mode {parity_mode!r}")
+        self.parity_mode = parity_mode
+        #: spanning-write protocol (§4.2 / Fig 6): mirror to THREE replica
+        #: holders before ack, then stripe asynchronously — one extra
+        #: network copy versus the small-write variant.
+        self.spanning_protocol = spanning_protocol
+        self._placements: Dict[str, TranscodeAwarePlacement] = {}
+        self.transcoder = NativeTranscoder(self)
+
+    # -- placement ------------------------------------------------------------
+    def _placement_for(self, name: str, ec: ECScheme) -> TranscodeAwarePlacement:
+        if name not in self._placements:
+            from repro.core.schemes import lcm_of_widths
+
+            if not self.transcode_aware:
+                from repro.cluster.placement import UnplannedPlacement
+
+                self._placements[name] = UnplannedPlacement(
+                    self.cluster,
+                    seed=self.seed + zlib.crc32(name.encode()) % 997,
+                )
+                return self._placements[name]
+
+            widths = [ec.k] + [w for w in self.future_widths]
+            k_star = lcm_of_widths(*widths)
+            r_star = max(self.max_parities, ec.n - ec.k)
+            alive = len(self.cluster.alive_nodes())
+            if k_star + r_star > alive:
+                # Fall back to the largest feasible window (documented
+                # trade-off: merges beyond the window may need data moves).
+                k_star = max(w for w in widths if w + r_star <= alive)
+            self._placements[name] = TranscodeAwarePlacement(
+                self.cluster, k_star, r_star, seed=self.seed + zlib.crc32(name.encode()) % 997
+            )
+        return self._placements[name]
+
+    # -- writes -----------------------------------------------------------------
+    def write_file(self, name: str, data, scheme: RedundancyScheme) -> FileMeta:
+        data = np.asarray(data, dtype=np.uint8).reshape(-1)
+        meta = FileMeta(
+            name=name, size=len(data), chunk_size=self.chunk_size, scheme=scheme
+        )
+        if isinstance(scheme, HybridScheme):
+            self._write_hybrid(meta, data, scheme)
+        elif isinstance(scheme, ECScheme):
+            self._write_ec_planned(meta, data, scheme)
+        elif isinstance(scheme, Replication):
+            self._write_replicated(meta, data, scheme.copies)
+        else:
+            raise ValueError(f"unsupported scheme {scheme}")
+        self.namenode.register_file(meta)
+        return meta
+
+    def _write_ec_planned(self, meta: FileMeta, data: np.ndarray, ec: ECScheme) -> None:
+        """EC write under the transcode-aware placement policy."""
+        placement = self._placement_for(meta.name, ec)
+        code = self.codec_for(ec)
+        chunks = self._data_chunks(data, ec.k)
+        for s in range(0, len(chunks), ec.k):
+            stripe_chunks = chunks[s : s + ec.k]
+            parities = code.encode(stripe_chunks)
+            self.charge_client_encode(ec.k, ec.n - ec.k, self.chunk_size)
+            spots = placement.place_stripe(meta.name, s // ec.k, ec.k, ec.n - ec.k)
+            stripe_meta = self._store_stripe(
+                meta, s // ec.k, stripe_chunks, parities, spots["data"], spots["parity"], ec
+            )
+            meta.stripes.append(stripe_meta)
+
+    def _write_hybrid(self, meta: FileMeta, data: np.ndarray, hy: HybridScheme) -> None:
+        """Hybrid ingest (§4.2).
+
+        Small-write variant (default): the block is mirrored to two
+        replica nodes in-memory; the second mirror acts as striper,
+        distributing data chunks (the third durable copy) and the
+        parities. Spanning variant (``spanning_protocol=True``): three
+        full replicas are mirrored before the ack and the last one
+        stripes asynchronously (Fig 6), costing one extra network copy.
+
+        Parity handling follows ``parity_mode``: "async" encodes on the
+        striper; "sync" encodes on the client (client CPU + client
+        network for the parity sends); "none" skips parities and persists
+        ``copies + 1`` replicas instead (§6.1).
+        """
+        ec = hy.ec
+        placement = self._placement_for(meta.name, ec)
+        code = self.codec_for(ec)
+        chunks = self._data_chunks(data, ec.k)
+        for s in range(0, len(chunks), ec.k):
+            stripe_index = s // ec.k
+            stripe_chunks = chunks[s : s + ec.k]
+            block_bytes = np.concatenate(stripe_chunks)
+            spots = placement.place_stripe(meta.name, stripe_index, ec.k, ec.n - ec.k)
+            ec_nodes = spots["data"] + spots["parity"]
+            persist_replicas = hy.copies + (1 if self.parity_mode == "none" else 0)
+            n_replica_targets = 3 if self.spanning_protocol else max(persist_replicas, 2)
+            n_replica_targets = max(n_replica_targets, persist_replicas)
+            replica_nodes = placement.place_replicas(
+                meta.name, stripe_index, n_replica_targets, exclude=ec_nodes
+            )
+            block_meta = self._write_replica_pipeline(
+                meta,
+                stripe_index,
+                first_chunk=s,
+                n_chunks=len(stripe_chunks),
+                block_bytes=block_bytes,
+                nodes=replica_nodes,
+                persist_count=persist_replicas,
+                to_memory=True,
+            )
+            meta.replica_blocks.append(block_meta)
+            # Striping (§4.2 / Fig 6): the last replica holder distributes
+            # the data chunks (they are the extra durable copy).
+            striper = replica_nodes[-1]
+            if self.parity_mode == "none":
+                parities = []
+            elif self.parity_mode == "sync":
+                parities = code.encode(stripe_chunks)
+                self.charge_client_encode(ec.k, ec.n - ec.k, self.chunk_size)
+            else:
+                parities = code.encode(stripe_chunks)
+                self.charge_node_encode(striper, ec.k, ec.n - ec.k, self.chunk_size)
+            parity_src = CLIENT if self.parity_mode == "sync" else striper
+            stripe_meta = self._store_stripe(
+                meta,
+                stripe_index,
+                stripe_chunks,
+                parities,
+                spots["data"],
+                spots["parity"][: len(parities)],
+                ec,
+                src=striper,
+                parity_src=parity_src,
+            )
+            if self.parity_mode == "none":
+                stripe_meta.n = stripe_meta.k
+            meta.stripes.append(stripe_meta)
+            # Parities persisted: temporary replicas leave memory for free.
+            for i, node_id in enumerate(replica_nodes):
+                if i >= persist_replicas:
+                    # temp replica chunk id reconstructed from pipeline order
+                    chunk_id = f"{meta.name}/r{stripe_index}c{i}"
+                    self._drop_temp_replica(node_id, chunk_id)
+
+    def _drop_temp_replica(self, node_id: str, chunk_id_prefix: str) -> None:
+        datanode = self.datanodes[node_id]
+        for cid in list(datanode._memory):
+            if cid.startswith(chunk_id_prefix):
+                datanode.drop_from_memory(cid)
+
+    # -- native transcode ----------------------------------------------------------
+    def transcode(self, name: str, target: RedundancyScheme, heartbeats: bool = True) -> FileMeta:
+        """Native transcode (§6.2): plan, enqueue, execute, atomic switch."""
+        meta = self.namenode.lookup(name)
+        step = self.planner.plan(meta.scheme, target)
+        if step.kind is TranscodeKind.FREE:
+            return self._free_transition(meta, target)
+        if step.kind is TranscodeKind.CONVERTIBLE:
+            if isinstance(meta.scheme, HybridScheme):
+                # Drop replicas first (free), then convert the EC part.
+                self._free_transition(meta, meta.scheme.ec)
+            groups, parities = self._build_groups(meta, target)
+            self.namenode.enqueue_transcode(name, target, groups, parities)
+            if heartbeats:
+                self.transcoder.run_pending(name)
+            return self.namenode.lookup(name)
+        # RRW fallback (e.g. into plain RS/LRC targets).
+        return RRWTranscoder(self).transcode(name, target)
+
+    def run_transcode_heartbeats(self, name: str) -> None:
+        """Drive a previously enqueued transcode to completion."""
+        self.transcoder.run_pending(name)
+
+    def _free_transition(self, meta: FileMeta, target: RedundancyScheme) -> FileMeta:
+        """Hybrid -> EC: delete replicas, flip metadata. Zero IO (§4.5).
+
+        Stripes whose parities were deferred (``parity_mode="none"`` or a
+        still-open appended tail) must be sealed first — replicas are the
+        only redundancy such stripes have, so deleting them without
+        parities in place would silently lose protection.
+        """
+        ec = target.ec if isinstance(target, HybridScheme) else target
+        if isinstance(ec, ECScheme):
+            for stripe in meta.stripes:
+                if len(stripe.parities) < ec.r:
+                    self._seal_stripe(meta, stripe, ec)
+        for block in meta.replica_blocks:
+            for copy in block.copies:
+                self.datanodes[copy.node_id].delete(copy.chunk_id)
+                self.checksums.forget(copy.chunk_id)
+        meta.replica_blocks = []
+        meta.scheme = target
+        meta.version += 1
+        return meta
+
+    def _seal_stripe(self, meta: FileMeta, stripe: ECStripeMeta, ec: ECScheme) -> None:
+        """Materialise missing parities for a parity-less stripe.
+
+        Data is read from the stripe's chunks (one striper-local encode),
+        parities land on the reserved co-located parity nodes.
+        """
+        code = (
+            self.cc_codec(stripe.k, stripe.k + ec.r)
+            if ec.kind is CodeKind.CC
+            else self.codec_for(ec)
+        )
+        chunks = [
+            self.datanodes[c.node_id].read(c.chunk_id, at=self.clock)
+            for c in stripe.data
+        ]
+        parities = code.encode(chunks)
+        placement = self._placement_for(meta.name, ec)
+        first_chunk = sum(s.k for s in meta.stripes[: stripe.stripe_index])
+        striper = stripe.data[0].node_id
+        self.charge_node_encode(striper, stripe.k, len(parities), self.chunk_size)
+        kinds = self._parity_kinds(ec)
+        for j, parity in enumerate(
+            parities[len(stripe.parities) :], start=len(stripe.parities)
+        ):
+            node = placement.parity_node(meta.name, first_chunk, j)
+            chunk_id = self.namenode.next_chunk_id(
+                f"{meta.name}/s{stripe.stripe_index}p{j}"
+            )
+            self.datanodes[node].receive_to_disk(chunk_id, parity, src=striper, at=self.clock)
+            self.checksums.record(chunk_id, parity)
+            stripe.parities.append(ChunkMeta(chunk_id, node, kinds[j], parity.nbytes))
+        stripe.n = stripe.k + len(stripe.parities)
+
+    def _build_groups(
+        self, meta: FileMeta, target: RedundancyScheme
+    ) -> Tuple[List[ConversionGroup], int]:
+        from math import gcd
+
+        ec = target.ec if isinstance(target, HybridScheme) else target
+        if not isinstance(ec, ECScheme):
+            raise TranscodeError(f"cannot transcode into {target}")
+        n_stripes = len(meta.stripes)
+        if ec.kind is CodeKind.LRCC:
+            parities = ec.local_groups + ec.r_global
+        else:
+            parities = ec.n - ec.k
+        groups: List[ConversionGroup] = []
+        index = 0
+        # Conversion groups must be width-homogeneous: appended/short tail
+        # stripes form their own runs and convert at their own width.
+        run_start = 0
+        while run_start < n_stripes:
+            k_run = meta.stripes[run_start].k
+            run_end = run_start
+            while run_end < n_stripes and meta.stripes[run_end].k == k_run:
+                run_end += 1
+            run_len = run_end - run_start
+            if ec.kind is CodeKind.LRCC:
+                lam = ec.k // k_run if ec.k % k_run == 0 else 0
+                if not lam or run_len % lam:
+                    raise TranscodeError(
+                        f"LRCC({ec.k}) needs runs of stripes divisible by "
+                        f"width {k_run}"
+                    )
+                group_size = lam
+            else:
+                span = k_run * ec.k // gcd(k_run, ec.k)
+                group_size = span // k_run
+            for start in range(run_start, run_end, group_size):
+                members = list(range(start, min(start + group_size, run_end)))
+                total = sum(meta.stripes[i].k for i in members)
+                if ec.kind is CodeKind.LRCC or total % ec.k != 0:
+                    n_finals = 1  # short tail merges into one narrower stripe
+                else:
+                    n_finals = total // ec.k
+                groups.append(
+                    ConversionGroup(
+                        file_name=meta.name,
+                        group_index=index,
+                        initial_stripe_indices=members,
+                        n_final_stripes=n_finals,
+                        target_scheme=target,
+                    )
+                )
+                index += 1
+            run_start = run_end
+        return groups, parities
+

@@ -1,0 +1,119 @@
+"""Heartbeat-driven failure detection and background maintenance (§6.1/§6.2).
+
+The Namenode learns about Datanode health from periodic heartbeats; a
+node that misses enough consecutive beats is declared dead and its chunks
+are queued for reconstruction. The same tick drives the transcode work
+loop (the paper polls the ATQ on each heartbeat) and, at a lower cadence,
+the integrity scrubber.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Set
+
+
+@dataclass
+class HeartbeatConfig:
+    interval_s: float = 3.0
+    #: consecutive missed beats before a node is declared dead (HDFS
+    #: defaults to ~10 minutes; scaled down for simulation)
+    dead_after_missed: int = 3
+    #: run the scrubber every this many ticks (0 = never)
+    scrub_every_ticks: int = 0
+
+
+@dataclass
+class TickReport:
+    """What one heartbeat round observed and did."""
+
+    tick: int
+    newly_dead: List[str] = field(default_factory=list)
+    newly_alive: List[str] = field(default_factory=list)
+    chunks_recovered: int = 0
+    transcode_groups_run: int = 0
+    chunks_scrubbed: int = 0
+    corruptions_repaired: int = 0
+
+
+class HeartbeatMonitor:
+    """Periodic cluster maintenance loop for a DFS instance."""
+
+    def __init__(self, fs, config: HeartbeatConfig = None):
+        self.fs = fs
+        self.config = config or HeartbeatConfig()
+        self.tick_count = 0
+        self._missed: Dict[str, int] = {n: 0 for n in fs.datanodes}
+        self._declared_dead: Set[str] = set()
+
+    # -- health bookkeeping ----------------------------------------------------
+    def _collect_beats(self) -> Set[str]:
+        """Nodes that respond this round (alive datanodes beat)."""
+        return {
+            node_id for node_id, dn in self.fs.datanodes.items() if dn.is_alive
+        }
+
+    def declared_dead(self) -> Set[str]:
+        return set(self._declared_dead)
+
+    def tick(self, recover: bool = True) -> TickReport:
+        """One heartbeat round: update health, drive recovery + upkeep."""
+        self.tick_count += 1
+        self.fs.clock += self.config.interval_s
+        report = TickReport(tick=self.tick_count)
+        beats = self._collect_beats()
+        for node_id in self.fs.datanodes:
+            if node_id in beats:
+                if node_id in self._declared_dead:
+                    self._declared_dead.discard(node_id)
+                    report.newly_alive.append(node_id)
+                self._missed[node_id] = 0
+            else:
+                self._missed[node_id] += 1
+                if (
+                    self._missed[node_id] >= self.config.dead_after_missed
+                    and node_id not in self._declared_dead
+                ):
+                    self._declared_dead.add(node_id)
+                    report.newly_dead.append(node_id)
+        # Reconstruction only starts once the Namenode *declares* a node
+        # dead — transient blips never trigger IO storms.
+        if recover and report.newly_dead:
+            from repro.dfs.recovery import RecoveryManager
+
+            manager = RecoveryManager(self.fs)
+            for meta, chunk in manager.lost_chunks():
+                if chunk.node_id in self._declared_dead:
+                    manager.recover_chunk(meta, chunk)
+                    report.chunks_recovered += 1
+        # ATQ draining: bounded work per heartbeat (§6.2). Only Morph has
+        # a native transcoder; the baseline transcodes client-side.
+        transcoding_files = (
+            list(self.fs.namenode.utm) if hasattr(self.fs, "transcoder") else []
+        )
+        for name in transcoding_files:
+            groups = [
+                g for g in self.fs.namenode.poll_work(8) if g.file_name == name
+            ]
+            for group in groups:
+                self.fs.transcoder.execute_group(group)
+                report.transcode_groups_run += 1
+            old = self.fs.namenode.try_finalize(name)
+            if old is not None:
+                for chunk in old:
+                    self.fs.datanodes[chunk.node_id].delete(chunk.chunk_id)
+                    self.fs.checksums.forget(chunk.chunk_id)
+        # Periodic scrub.
+        if (
+            self.config.scrub_every_ticks
+            and self.tick_count % self.config.scrub_every_ticks == 0
+        ):
+            from repro.dfs.integrity import Scrubber
+
+            scrub = Scrubber(self.fs).scan_and_repair()
+            report.chunks_scrubbed = scrub.chunks_scanned
+            report.corruptions_repaired = scrub.repaired
+        return report
+
+    def run_ticks(self, count: int) -> List[TickReport]:
+        return [self.tick() for _ in range(count)]

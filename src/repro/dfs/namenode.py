@@ -1,0 +1,237 @@
+"""Namenode: namespace, chunk directory and the transcode module (§6.2).
+
+The transcode module mirrors the paper's architecture:
+
+* ``transcode(file, scheme)`` enqueues work; the Namenode forms new
+  stripes over *sequential* data chunks and pushes conversion groups into
+  the **awaiting-transcoding queue (ATQ)**.
+* Work is polled from the ATQ (bounded per heartbeat) and tracked in the
+  **undergoing-transcoding map (UTM)** — per file, a bitmap of pending
+  final parities.
+* Completion of every parity of every stripe triggers the **atomic
+  metadata switch**: new stripes replace old, old parities become
+  garbage, the file version bumps. Old parities are deleted only after
+  the switch, so reads/degraded-reads/reconstruction work mid-transcode,
+  and a crash before the switch simply leaves the (still valid) old
+  metadata in place — restart re-runs the conversion idempotently.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Deque, Dict, List, Optional, Tuple
+
+from repro.core.schemes import RedundancyScheme
+from repro.dfs.blocks import ChunkMeta, ECStripeMeta, FileMeta, FileState
+
+
+class FileNotFoundError_(KeyError):
+    """Requested file is not in the namespace."""
+
+
+class TranscodeStateError(RuntimeError):
+    """Invalid transcode lifecycle transition."""
+
+
+@dataclass
+class ConversionGroup:
+    """One unit of transcode work: a run of initial stripes -> final stripes."""
+
+    file_name: str
+    group_index: int
+    initial_stripe_indices: List[int]
+    n_final_stripes: int
+    target_scheme: RedundancyScheme
+
+
+@dataclass
+class TranscodeJob:
+    """All pending work for one file's transcode."""
+
+    file_name: str
+    target_scheme: RedundancyScheme
+    groups: List[ConversionGroup] = field(default_factory=list)
+    #: bitmap over (group, final_stripe, parity) completion — int bitmask
+    pending_bits: int = 0
+    total_bits: int = 0
+    #: final stripes accumulated by the transcoder, keyed by (group, idx)
+    new_stripes: Dict[Tuple[int, int], ECStripeMeta] = field(default_factory=dict)
+
+    def is_complete(self) -> bool:
+        return self.total_bits > 0 and self.pending_bits == 0
+
+
+class Namenode:
+    """Namespace + block map + ATQ/UTM transcode bookkeeping."""
+
+    def __init__(self):
+        self.files: Dict[str, FileMeta] = {}
+        #: awaiting-transcoding queue: conversion groups not yet assigned
+        self.atq: Deque[ConversionGroup] = deque()
+        #: undergoing-transcoding map: file -> job state
+        self.utm: Dict[str, TranscodeJob] = {}
+        self._chunk_seq = 0
+
+    # -- namespace --------------------------------------------------------
+    def register_file(self, meta: FileMeta) -> None:
+        if meta.name in self.files:
+            raise ValueError(f"file exists: {meta.name}")
+        self.files[meta.name] = meta
+
+    def lookup(self, name: str) -> FileMeta:
+        try:
+            return self.files[name]
+        except KeyError:
+            raise FileNotFoundError_(name) from None
+
+    def unregister_file(self, name: str) -> FileMeta:
+        return self.files.pop(name)
+
+    def next_chunk_id(self, prefix: str) -> str:
+        self._chunk_seq += 1
+        return f"{prefix}#{self._chunk_seq:08d}"
+
+    def rename(self, old: str, new: str) -> None:
+        meta = self.unregister_file(old)
+        meta.name = new
+        self.register_file(meta)
+
+    # -- transcode lifecycle -------------------------------------------------
+    def enqueue_transcode(
+        self,
+        name: str,
+        target_scheme: RedundancyScheme,
+        groups: List[ConversionGroup],
+        parities_per_final_stripe: int,
+    ) -> TranscodeJob:
+        """Queue a file's conversion groups into the ATQ (transcode())."""
+        meta = self.lookup(name)
+        if name in self.utm:
+            raise TranscodeStateError(f"{name} is already transcoding")
+        job = TranscodeJob(file_name=name, target_scheme=target_scheme, groups=groups)
+        bit = 0
+        for group in groups:
+            for _final in range(group.n_final_stripes):
+                for _p in range(parities_per_final_stripe):
+                    job.pending_bits |= 1 << bit
+                    bit += 1
+        job.total_bits = bit
+        self.utm[name] = job
+        self.atq.extend(groups)
+        meta.state = FileState.TRANSCODING
+        return job
+
+    def poll_work(self, max_items: int = 8) -> List[ConversionGroup]:
+        """Pop up to ``max_items`` groups from the ATQ (per heartbeat)."""
+        out = []
+        while self.atq and len(out) < max_items:
+            out.append(self.atq.popleft())
+        return out
+
+    def _bit_index(
+        self, job: TranscodeJob, group_index: int, final_idx: int, parity_j: int, parities: int
+    ) -> int:
+        offset = 0
+        for g in job.groups:
+            if g.group_index == group_index:
+                return offset + (final_idx * parities + parity_j)
+            offset += g.n_final_stripes * parities
+        raise TranscodeStateError(f"unknown group {group_index}")
+
+    def complete_parity(
+        self,
+        name: str,
+        group_index: int,
+        final_idx: int,
+        parity_j: int,
+        parities_per_final_stripe: int,
+    ) -> None:
+        """Mark one new parity persisted (UTM bitmap update)."""
+        job = self.utm.get(name)
+        if job is None:
+            raise TranscodeStateError(f"{name} is not transcoding")
+        bit = self._bit_index(
+            job, group_index, final_idx, parity_j, parities_per_final_stripe
+        )
+        job.pending_bits &= ~(1 << bit)
+
+    def record_new_stripe(
+        self, name: str, group_index: int, final_idx: int, stripe: ECStripeMeta
+    ) -> None:
+        job = self.utm.get(name)
+        if job is None:
+            raise TranscodeStateError(f"{name} is not transcoding")
+        job.new_stripes[(group_index, final_idx)] = stripe
+
+    def try_finalize(self, name: str) -> Optional[List[ChunkMeta]]:
+        """Atomic metadata switch once every parity bit has cleared.
+
+        Returns the now-garbage old parity chunks (for deletion by the
+        caller) or None if the job is still pending. The switch itself is
+        a single in-memory reassignment: a crash before it leaves the old,
+        fully consistent metadata in effect.
+        """
+        job = self.utm.get(name)
+        if job is None or not job.is_complete():
+            return None
+        meta = self.lookup(name)
+        old_parities: List[ChunkMeta] = [
+            p for stripe in meta.stripes for p in stripe.parities
+        ]
+        ordered = [job.new_stripes[key] for key in sorted(job.new_stripes)]
+        for i, stripe in enumerate(ordered):
+            stripe.stripe_index = i
+        # THE atomic switch: one reference assignment.
+        meta.stripes = ordered
+        meta.scheme = job.target_scheme
+        meta.replica_blocks = []
+        meta.state = FileState.HEALTHY
+        meta.version += 1
+        del self.utm[name]
+        return old_parities
+
+    def abort_transcode(self, name: str) -> None:
+        """Simulate a crash: forget in-flight transcode state (UTM is
+        in-memory only; the paper avoids persisting it). Old metadata
+        stays in effect; the ATQ entries for the file are dropped."""
+        self.utm.pop(name, None)
+        self.atq = deque(g for g in self.atq if g.file_name != name)
+        meta = self.files.get(name)
+        if meta is not None:
+            meta.state = FileState.HEALTHY
+
+    # -- persistence --------------------------------------------------------
+    def snapshot(self) -> dict:
+        """Durable Namenode state: the namespace only.
+
+        The ATQ and UTM are deliberately absent (§6.2): the transcode
+        completion signal is the reference point for filesystem state, so
+        in-flight transcode bookkeeping never needs to be persisted — a
+        restart simply re-runs any unfinished conversion.
+        """
+        return {
+            "files": dict(self.files),
+            "chunk_seq": self._chunk_seq,
+        }
+
+    @classmethod
+    def restore(cls, snapshot: dict) -> "Namenode":
+        """Bring up a fresh Namenode from a snapshot (post-crash)."""
+        node = cls()
+        node.files = dict(snapshot["files"])
+        node._chunk_seq = snapshot["chunk_seq"]
+        for meta in node.files.values():
+            # In-flight transcodes died with the old process; their files
+            # revert to HEALTHY under the old (still valid) metadata.
+            meta.state = FileState.HEALTHY
+        return node
+
+    # -- capacity / health --------------------------------------------------
+    def chunks_on_node(self, node_id: str) -> List[Tuple[FileMeta, ChunkMeta]]:
+        out = []
+        for meta in self.files.values():
+            for chunk in meta.all_chunks():
+                if chunk.node_id == node_id:
+                    out.append((meta, chunk))
+        return out

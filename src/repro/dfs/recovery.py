@@ -1,0 +1,225 @@
+"""Failure detection and chunk reconstruction (§4.4, §6.1).
+
+The Namenode notices dead Datanodes via heartbeats; every chunk homed on
+a dead node is re-materialised on a live one following the priority order
+the paper gives:
+
+* **replica chunk lost** — copy another replica if one exists, else
+  rebuild the span from the EC stripe's data chunks;
+* **EC data chunk lost** — read the covering replica range if the file is
+  hybrid, else decode from k surviving stripe chunks;
+* **parity chunk lost** — recompute from a replica (one sequential read)
+  or from the data chunks.
+
+Every reconstruction is metered: reads at the sources, one network
+transfer per chunk to the rebuilding node, a disk write for the new copy.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.codes.base import DecodeError
+from repro.dfs.blocks import ChunkKind, ChunkMeta, ECStripeMeta, FileMeta
+
+
+class RecoveryError(RuntimeError):
+    """A chunk could not be reconstructed from surviving copies."""
+
+
+class RecoveryManager:
+    """Rebuilds chunks lost to node failures."""
+
+    def __init__(self, fs):
+        self.fs = fs
+
+    # -- detection -------------------------------------------------------------
+    def lost_chunks(self) -> List[Tuple[FileMeta, ChunkMeta]]:
+        """All (file, chunk) pairs homed on dead nodes."""
+        out = []
+        for meta in self.fs.namenode.files.values():
+            for chunk in meta.all_chunks():
+                if not self.fs.datanodes[chunk.node_id].is_alive:
+                    out.append((meta, chunk))
+        return out
+
+    def recover_all(self) -> int:
+        """Reconstruct every lost chunk; returns how many were rebuilt."""
+        count = 0
+        for meta, chunk in self.lost_chunks():
+            self.recover_chunk(meta, chunk)
+            count += 1
+        return count
+
+    # -- reconstruction ------------------------------------------------------------
+    def recover_chunk(self, meta: FileMeta, chunk: ChunkMeta) -> str:
+        """Rebuild one chunk on a fresh node; returns the new node id."""
+        target = self._pick_target(meta, chunk)
+        if chunk.kind is ChunkKind.REPLICA:
+            data = self._rebuild_replica(meta, chunk, target)
+        elif chunk.kind is ChunkKind.DATA:
+            data = self._rebuild_data_chunk(meta, chunk, target)
+        else:
+            data = self._rebuild_parity(meta, chunk, target)
+        new_id = self.fs.namenode.next_chunk_id(f"{meta.name}/recovered")
+        self.fs.datanodes[target].store_local(new_id, data, at=self.fs.clock)
+        self.fs.checksums.forget(chunk.chunk_id)
+        self.fs.checksums.record(new_id, data)
+        chunk.chunk_id = new_id
+        chunk.node_id = target
+        return target
+
+    def _pick_target(self, meta: FileMeta, chunk: ChunkMeta) -> str:
+        occupied = {c.node_id for c in meta.all_chunks() if c is not chunk}
+        for node in self.fs.cluster.alive_nodes():
+            if node.node_id not in occupied:
+                return node.node_id
+        # Degenerate small clusters: allow reuse of a live node.
+        alive = self.fs.cluster.alive_nodes()
+        if not alive:
+            raise RecoveryError("no live nodes to rebuild onto")
+        return alive[0].node_id
+
+    def _fetch(self, src: ChunkMeta, target: str) -> Optional[np.ndarray]:
+        datanode = self.fs.datanodes[src.node_id]
+        if not datanode.is_alive or not datanode.has_chunk(src.chunk_id):
+            return None
+        data = datanode.read(src.chunk_id, at=self.fs.clock)
+        self.fs.metrics.record_transfer(src.node_id, target, float(data.nbytes))
+        return data
+
+    def _stripe_and_block(self, meta: FileMeta, chunk: ChunkMeta):
+        for stripe in meta.stripes:
+            if chunk in stripe.all_chunks():
+                return stripe
+        return None
+
+    def _rebuild_replica(self, meta: FileMeta, chunk: ChunkMeta, target: str) -> np.ndarray:
+        block = next(
+            b for b in meta.replica_blocks if chunk in b.copies
+        )
+        for copy in block.copies:
+            if copy is chunk:
+                continue
+            data = self._fetch(copy, target)
+            if data is not None:
+                return data
+        # No surviving replica: rebuild the span from the stripe's data.
+        pieces = []
+        for idx in range(block.first_chunk, block.first_chunk + block.n_chunks):
+            pieces.append(self._read_or_decode_data(meta, idx, target))
+        return np.concatenate(pieces)[: chunk.size]
+
+    def _rebuild_data_chunk(self, meta: FileMeta, chunk: ChunkMeta, target: str) -> np.ndarray:
+        stripe = self._stripe_and_block(meta, chunk)
+        local = stripe.data.index(chunk)
+        # Hybrid fast path: one sequential replica-range read (§4.4).
+        global_index = self._global_data_index(meta, stripe, local)
+        if meta.replica_blocks:
+            data = self._replica_range(meta, global_index, target)
+            if data is not None:
+                return data
+        return self._decode_from_stripe(meta, stripe, stripe.k + 0, local, target)
+
+    def _rebuild_parity(self, meta: FileMeta, chunk: ChunkMeta, target: str) -> np.ndarray:
+        stripe = self._stripe_and_block(meta, chunk)
+        parity_j = stripe.parities.index(chunk)
+        code = self.fs.codec_for_stripe(meta, stripe)
+        # Re-encoding a parity needs the whole data span — from replicas if
+        # hybrid (sequential read), else from the data chunks.
+        data_chunks = []
+        for local in range(stripe.k):
+            global_index = self._global_data_index(meta, stripe, local)
+            piece = None
+            if meta.replica_blocks:
+                piece = self._replica_range(meta, global_index, target)
+            if piece is None:
+                piece = self._read_or_decode_data_in_stripe(meta, stripe, local, target)
+            data_chunks.append(piece)
+        self.fs.charge_node_encode(target, stripe.k, 1, meta.chunk_size)
+        return code.encode(data_chunks)[parity_j]
+
+    # -- shared helpers -----------------------------------------------------------
+    def _global_data_index(self, meta: FileMeta, stripe: ECStripeMeta, local: int) -> int:
+        passed = 0
+        for s in meta.stripes:
+            if s is stripe:
+                return passed + local
+            passed += s.k
+        raise RecoveryError("stripe not in file")
+
+    def _replica_range(self, meta: FileMeta, chunk_index: int, target: str) -> Optional[np.ndarray]:
+        for block in meta.replica_blocks:
+            if block.first_chunk <= chunk_index < block.first_chunk + block.n_chunks:
+                start = (chunk_index - block.first_chunk) * meta.chunk_size
+                for copy in block.copies:
+                    datanode = self.fs.datanodes[copy.node_id]
+                    if datanode.is_alive and datanode.has_chunk(copy.chunk_id):
+                        data = datanode.read_range(
+                            copy.chunk_id, start, meta.chunk_size, at=self.fs.clock
+                        )
+                        self.fs.metrics.record_transfer(
+                            copy.node_id, target, float(meta.chunk_size)
+                        )
+                        out = np.zeros(meta.chunk_size, dtype=np.uint8)
+                        out[: len(data)] = data
+                        return out
+        return None
+
+    def _read_or_decode_data(self, meta: FileMeta, chunk_index: int, target: str) -> np.ndarray:
+        passed = 0
+        for stripe in meta.stripes:
+            if chunk_index < passed + stripe.k:
+                return self._read_or_decode_data_in_stripe(
+                    meta, stripe, chunk_index - passed, target
+                )
+            passed += stripe.k
+        raise RecoveryError(f"chunk index {chunk_index} beyond stripes")
+
+    def _read_or_decode_data_in_stripe(
+        self, meta: FileMeta, stripe: ECStripeMeta, local: int, target: str
+    ) -> np.ndarray:
+        chunk = stripe.data[local]
+        data = self._fetch(chunk, target)
+        if data is not None:
+            return data
+        return self._decode_from_stripe(meta, stripe, stripe.k, local, target)
+
+    def _decode_from_stripe(
+        self, meta: FileMeta, stripe: ECStripeMeta, _unused: int, local: int, target: str
+    ) -> np.ndarray:
+        code = self.fs.codec_for_stripe(meta, stripe)
+        available: Dict[int, np.ndarray] = {}
+        chunks = stripe.all_chunks()
+        # Local repair first for LRC-family codes: k/l reads, not k.
+        if hasattr(code, "group_members") and local < stripe.k + code.l:
+            peers = [m for m in code.group_members(code.group_of(local)) if m != local]
+            fetched = {}
+            for m in peers:
+                data = self._fetch(chunks[m], target)
+                if data is None:
+                    break
+                fetched[m] = data
+            if len(fetched) == len(peers):
+                recovered = code.decode(fetched, [local])
+                self.fs.charge_node_encode(target, len(peers), 1, meta.chunk_size)
+                return recovered[local]
+            available.update(fetched)
+        for idx in range(len(chunks)):
+            if idx == local or idx in available:
+                continue
+            data = self._fetch(chunks[idx], target)
+            if data is not None:
+                available[idx] = data
+                if len(available) >= stripe.k:
+                    break
+        try:
+            recovered = code.decode(available, [local])
+        except DecodeError as exc:
+            raise RecoveryError(
+                f"{meta.name}: stripe {stripe.stripe_index} beyond repair"
+            ) from exc
+        self.fs.charge_node_encode(target, len(available), 1, meta.chunk_size)
+        return recovered[local]

@@ -1,0 +1,463 @@
+"""Transcode execution: native CC/LRCC conversions and baseline RRW.
+
+The native path executes :class:`ConversionGroup` work items the Namenode
+queued (ATQ -> UTM), moving only the chunks the conversion plan names:
+
+* same-r merges read co-located old parities **locally** on each parity
+  node and write the merged parity back locally — zero network IO (§5.3);
+* split/general-regime data reads are transferred to every parity node
+  that combines them;
+* completion of each new parity clears a UTM bit; when the file's bitmap
+  empties, the Namenode performs the atomic metadata switch and only then
+  are the old parities deleted (crash consistency, §6.2).
+
+The RRW path is the baseline: the *client* reads the whole file, re-
+encodes it, writes it as a new file and deletes the original.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from repro.codes.base import Stripe
+from repro.codes.convertible import ConvertibleCode, plan_conversion, convert
+from repro.codes.lrcc import (
+    LocallyRecoverableConvertibleCode,
+    convert_cc_to_lrcc,
+    convert_lrcc_to_lrcc,
+)
+from repro.core.schemes import CodeKind, ECScheme
+from repro.dfs.blocks import ChunkKind, ChunkMeta, ECStripeMeta, FileMeta
+from repro.dfs.namenode import ConversionGroup
+
+
+class TranscodeError(RuntimeError):
+    """A conversion group could not be executed."""
+
+
+class NativeTranscoder:
+    """Executes queued conversion groups against the datanodes."""
+
+    def __init__(self, fs):
+        self.fs = fs
+
+    # -- work loop ------------------------------------------------------------
+    def run_pending(self, name: str, max_per_heartbeat: int = 8) -> None:
+        """Drain the ATQ for a file, then finalize (the heartbeat loop)."""
+        namenode = self.fs.namenode
+        while True:
+            groups = [
+                g for g in namenode.poll_work(max_per_heartbeat) if g.file_name == name
+            ]
+            if not groups:
+                break
+            for group in groups:
+                self.execute_group(group)
+        old_parities = namenode.try_finalize(name)
+        if old_parities is not None:
+            for chunk in old_parities:
+                self.fs.datanodes[chunk.node_id].delete(chunk.chunk_id)
+
+    # -- group execution ----------------------------------------------------------
+    def execute_group(self, group: ConversionGroup) -> None:
+        meta = self.fs.namenode.lookup(group.file_name)
+        target = group.target_scheme
+        ec = target.ec if hasattr(target, "ec") else target
+        if not isinstance(ec, ECScheme):
+            raise TranscodeError(f"cannot natively transcode into {target}")
+        if ec.kind is CodeKind.CC:
+            self._execute_cc_group(meta, group, ec)
+        elif ec.kind is CodeKind.LRCC:
+            self._execute_lrcc_group(meta, group, ec)
+        else:
+            raise TranscodeError(f"native transcode needs a convertible code, got {ec}")
+
+    def _load_stripes(
+        self,
+        meta: FileMeta,
+        stripe_metas: List[ECStripeMeta],
+        data_reads,
+        parity_reads,
+        parity_targets: Dict[int, str],
+    ) -> List[Stripe]:
+        """Fetch exactly the planned chunks into Stripe objects.
+
+        ``parity_targets`` maps final parity index j -> computing node, so
+        network transfers can be charged for every remote read.
+        """
+        k_i = stripe_metas[0].k
+        stripes = [
+            Stripe(sm.k, sm.n, [None] * sm.n) for sm in stripe_metas
+        ]
+        for t in sorted(data_reads):
+            stripe_i, local = divmod(t, k_i)
+            chunk = stripe_metas[stripe_i].data[local]
+            data = self._read_or_reconstruct(meta, stripe_metas[stripe_i], local)
+            stripes[stripe_i].chunks[local] = data
+            # Every parity-computing node combines this chunk.
+            for node in set(parity_targets.values()):
+                self.fs.metrics.record_transfer(chunk.node_id, node, float(data.nbytes))
+        for (i, j) in sorted(parity_reads):
+            chunk = stripe_metas[i].parities[j]
+            data = self._read_or_reconstruct(
+                meta, stripe_metas[i], stripe_metas[i].k + j
+            )
+            stripes[i].chunks[stripe_metas[i].k + j] = data
+            target_node = parity_targets.get(j)
+            if target_node is not None:
+                self.fs.metrics.record_transfer(chunk.node_id, target_node, float(data.nbytes))
+        return stripes
+
+    def _read_or_reconstruct(
+        self, meta: FileMeta, stripe_meta: ECStripeMeta, index: int
+    ):
+        """Read a planned chunk, reconstructing it if its home is down.
+
+        A transcode must not fail because a source chunk is temporarily
+        unavailable — the paper keeps old stripes fully serviceable
+        throughout; a degraded transcode simply decodes the needed chunk
+        from the stripe's survivors (metered like any degraded read).
+        """
+        chunk = stripe_meta.all_chunks()[index]
+        datanode = self.fs.datanodes[chunk.node_id]
+        if datanode.is_alive and datanode.has_chunk(chunk.chunk_id):
+            return datanode.read(chunk.chunk_id, at=self.fs.clock)
+        code = self.fs.codec_for_stripe(meta, stripe_meta)
+        available = {}
+        for idx, other in enumerate(stripe_meta.all_chunks()):
+            if idx == index:
+                continue
+            dn = self.fs.datanodes[other.node_id]
+            if dn.is_alive and dn.has_chunk(other.chunk_id):
+                available[idx] = dn.read(other.chunk_id, at=self.fs.clock)
+                if len(available) >= stripe_meta.k:
+                    break
+        recovered = code.decode(available, [index])
+        self.fs.charge_node_encode(
+            chunk.node_id, stripe_meta.k, 1, meta.chunk_size
+        )
+        return recovered[index]
+
+    def _parity_targets(
+        self, stripe_metas: List[ECStripeMeta], n_parities: int
+    ) -> Dict[int, str]:
+        """Computing node per final parity: the old parity-j home.
+
+        Under Morph's co-located placement every constituent stripe's
+        parity j lives on one node, so the merge is local there. With
+        unplanned placement we fall back to the first stripe's parity-j
+        node (remote reads get charged as network IO).
+        """
+        targets: Dict[int, str] = {}
+        for j in range(n_parities):
+            homes = [
+                sm.parities[j].node_id for sm in stripe_metas if j < len(sm.parities)
+            ]
+            targets[j] = homes[0] if homes else stripe_metas[0].data[0].node_id
+        return targets
+
+    def _execute_cc_group(self, meta: FileMeta, group: ConversionGroup, ec: ECScheme) -> None:
+        stripe_metas = [meta.stripes[i] for i in group.initial_stripe_indices]
+        k_i = stripe_metas[0].k
+        r_i = stripe_metas[0].n - k_i
+        total_data = sum(sm.k for sm in stripe_metas)
+        if any(sm.k != k_i for sm in stripe_metas[:-1]):
+            raise TranscodeError("conversion group has inconsistent widths")
+        if ec.r > r_i:
+            # Parity growth: needs the bandwidth-optimal vector-code path
+            # (only valid when the stripes were encoded anticipating it).
+            self._execute_bwo_group(meta, group, ec, stripe_metas)
+            return
+        # Short tail groups merge into one stripe of their own total width.
+        k_f = ec.k if total_data % ec.k == 0 else total_data
+        r_f = ec.r
+        initial = self.fs.cc_codec(k_i, k_i + r_i)
+        final = self.fs.cc_codec(k_f, k_f + r_f)
+        plan = plan_conversion(initial, final, len(stripe_metas))
+        targets = self._parity_targets(stripe_metas, r_f)
+        stripes = self._load_stripes(
+            meta, stripe_metas, plan.data_reads, plan.parity_reads, targets
+        )
+        finals, _io = convert(initial, final, stripes, plan)
+        chunk_size = meta.chunk_size
+        for m, final_stripe in enumerate(finals):
+            new_meta = self._assemble_final_meta(
+                meta, group, m, stripe_metas, final_stripe, k_i, targets
+            )
+            # Without k*-aware placement, merge partners may share servers;
+            # reliability demands moving the colliding chunks (§5.3 — the
+            # IO Morph's data-separation policy designs away).
+            self._relocate_collisions(meta, new_meta)
+            # Write the new parities (local when co-located) and charge CPU
+            # proportional to the combination width on each parity node.
+            for j in range(r_f):
+                node = targets[j]
+                self.fs.datanodes[node].store_local(
+                    new_meta.parities[j].chunk_id,
+                    final_stripe.chunks[final_stripe.k + j],
+                    at=self.fs.clock,
+                )
+                self.fs.checksums.record(
+                    new_meta.parities[j].chunk_id,
+                    final_stripe.chunks[final_stripe.k + j],
+                )
+                width = len(stripe_metas) + len(plan.data_reads)
+                self.fs.charge_node_encode(node, width, 1, chunk_size)
+                self.fs.namenode.complete_parity(
+                    meta.name, group.group_index, m, j, r_f
+                )
+            self.fs.namenode.record_new_stripe(meta.name, group.group_index, m, new_meta)
+
+    def _execute_bwo_group(
+        self,
+        meta: FileMeta,
+        group: ConversionGroup,
+        ec: ECScheme,
+        stripe_metas: List[ECStripeMeta],
+    ) -> None:
+        """Merge BWO-encoded stripes into a wider stripe with more parities.
+
+        Reads every old parity in full plus only the **tail fraction**
+        ``(r_F - r_I) / r_F`` of each data chunk (hop-and-couple: one
+        contiguous range per chunk, metered as a partial read).
+        """
+        from repro.codes.bandwidth import BandwidthOptimalCC
+
+        source = meta.scheme.ec if hasattr(meta.scheme, "ec") else meta.scheme
+        if (
+            not isinstance(source, ECScheme)
+            or source.anticipate_parities != ec.r
+        ):
+            raise TranscodeError(
+                "parity growth requires stripes encoded with "
+                f"anticipate_parities={ec.r}"
+            )
+        k_i = stripe_metas[0].k
+        r_i = stripe_metas[0].n - k_i
+        r_f = ec.r
+        lam = len(stripe_metas)
+        if ec.k != lam * k_i:
+            raise TranscodeError("BWO conversion supports the merge regime only")
+        bwo = BandwidthOptimalCC(k_i, r_i, r_f, family_width=ec.k)
+        final = self.fs.cc_codec(ec.k, ec.n)
+        chunk_size = meta.chunk_size
+        sublen = chunk_size // r_f
+        tail_start = r_i * sublen
+        targets = self._parity_targets(stripe_metas, r_i)
+        # Extra parity homes: reuse placement's reserved parity nodes.
+        placement = self.fs._placement_for(meta.name, ec)
+        first_chunk = group.initial_stripe_indices[0] * k_i
+        for j in range(r_i, r_f):
+            try:
+                targets[j] = placement.parity_node(meta.name, first_chunk, j)
+            except Exception:
+                targets[j] = targets[0]
+
+        stripes = []
+        for sm in stripe_metas:
+            chunks: List[Optional[np.ndarray]] = []
+            for t, chunk in enumerate(sm.data):
+                dn = self.fs.datanodes[chunk.node_id]
+                tail = dn.read_range(
+                    chunk.chunk_id, tail_start, chunk_size - tail_start, at=self.fs.clock
+                )
+                padded = np.zeros(chunk_size, dtype=np.uint8)
+                padded[tail_start:] = tail
+                chunks.append(padded)
+                for node in set(targets.values()):
+                    self.fs.metrics.record_transfer(
+                        chunk.node_id, node, float(chunk_size - tail_start)
+                    )
+            for j, parity in enumerate(sm.parities):
+                dn = self.fs.datanodes[parity.node_id]
+                data = dn.read(parity.chunk_id, at=self.fs.clock)
+                chunks.append(data)
+                self.fs.metrics.record_transfer(
+                    parity.node_id, targets.get(j, targets[0]), float(data.nbytes)
+                )
+            stripes.append(Stripe(sm.k, sm.n, chunks))
+        merged, _io = bwo.convert_merge(stripes, final)
+        new_meta = self._assemble_final_meta(
+            meta, group, 0, stripe_metas, merged, k_i, targets
+        )
+        self._relocate_collisions(meta, new_meta)
+        for j in range(r_f):
+            node = targets[j]
+            self.fs.datanodes[node].store_local(
+                new_meta.parities[j].chunk_id,
+                merged.chunks[merged.k + j],
+                at=self.fs.clock,
+            )
+            self.fs.checksums.record(
+                new_meta.parities[j].chunk_id, merged.chunks[merged.k + j]
+            )
+            self.fs.charge_node_encode(node, lam * r_i + ec.k, 1, chunk_size)
+            self.fs.namenode.complete_parity(meta.name, group.group_index, 0, j, r_f)
+        self.fs.namenode.record_new_stripe(meta.name, group.group_index, 0, new_meta)
+
+    def _relocate_collisions(self, meta: FileMeta, stripe: ECStripeMeta) -> None:
+        """Move data chunks so no two chunks of the stripe share a node."""
+        seen = {p.node_id for p in stripe.parities}
+        for chunk in stripe.data:
+            if chunk.node_id not in seen:
+                seen.add(chunk.node_id)
+                continue
+            fresh = next(
+                (
+                    node.node_id
+                    for node in self.fs.cluster.alive_nodes()
+                    if node.node_id not in seen
+                ),
+                None,
+            )
+            if fresh is None:
+                # Cluster too small/degraded to fully separate this stripe:
+                # tolerate the collision (capacity pressure trade-off).
+                continue
+            source = self.fs.datanodes[chunk.node_id]
+            data = source.read(chunk.chunk_id, at=self.fs.clock)
+            new_id = self.fs.namenode.next_chunk_id(f"{meta.name}/moved")
+            self.fs.datanodes[fresh].receive_to_disk(
+                new_id, data, src=chunk.node_id, at=self.fs.clock
+            )
+            self.fs.checksums.forget(chunk.chunk_id)
+            self.fs.checksums.record(new_id, data)
+            source.delete(chunk.chunk_id)
+            chunk.chunk_id = new_id
+            chunk.node_id = fresh
+            seen.add(fresh)
+
+    def _assemble_final_meta(
+        self,
+        meta: FileMeta,
+        group: ConversionGroup,
+        m: int,
+        stripe_metas: List[ECStripeMeta],
+        final_stripe: Stripe,
+        k_i: int,
+        targets: Dict[int, str],
+        parity_kinds: Optional[List[ChunkKind]] = None,
+    ) -> ECStripeMeta:
+        """Build the final stripe's metadata, reusing data-chunk homes."""
+        data_metas: List[ChunkMeta] = []
+        for t in range(m * final_stripe.k, (m + 1) * final_stripe.k):
+            stripe_i, local = divmod(t, k_i)
+            data_metas.append(stripe_metas[stripe_i].data[local])
+        parity_metas: List[ChunkMeta] = []
+        r_f = final_stripe.n - final_stripe.k
+        for j in range(r_f):
+            kind = parity_kinds[j] if parity_kinds else ChunkKind.PARITY
+            parity_metas.append(
+                ChunkMeta(
+                    chunk_id=self.fs.namenode.next_chunk_id(f"{meta.name}/t{meta.version+1}/g{group.group_index}s{m}p{j}"),
+                    node_id=targets[j],
+                    kind=kind,
+                    size=meta.chunk_size,
+                )
+            )
+        return ECStripeMeta(
+            stripe_index=0,  # renumbered at finalize
+            k=final_stripe.k,
+            n=final_stripe.n,
+            data=data_metas,
+            parities=parity_metas,
+        )
+
+    def _execute_lrcc_group(self, meta: FileMeta, group: ConversionGroup, ec: ECScheme) -> None:
+        stripe_metas = [meta.stripes[i] for i in group.initial_stripe_indices]
+        k_i = stripe_metas[0].k
+        source_ec = meta.scheme.ec if hasattr(meta.scheme, "ec") else meta.scheme
+        final = self.fs.lrcc_codec(ec.k, ec.local_groups, ec.r_global)
+        chunk_size = meta.chunk_size
+        n_parities = ec.local_groups + ec.r_global
+        if isinstance(source_ec, ECScheme) and source_ec.kind is CodeKind.LRCC:
+            initial = self.fs.lrcc_codec(
+                source_ec.k, source_ec.local_groups, source_ec.r_global
+            )
+            # Reads: all local parities + the globals that merge.
+            parity_reads = [
+                (i, g) for i in range(len(stripe_metas)) for g in range(initial.l)
+            ] + [
+                (i, initial.l + j)
+                for i in range(len(stripe_metas))
+                for j in range(ec.r_global)
+            ]
+            targets = self._lrcc_targets(stripe_metas, initial, final)
+            stripes = self._load_stripes(meta, stripe_metas, [], parity_reads, targets)
+            final_stripe, _io = convert_lrcc_to_lrcc(initial, final, stripes)
+        else:
+            initial = self.fs.cc_codec(k_i, stripe_metas[0].n)
+            parity_reads = [
+                (i, j)
+                for i in range(len(stripe_metas))
+                for j in range(ec.r_global + 1)
+            ]
+            targets = self._lrcc_targets(stripe_metas, None, final)
+            stripes = self._load_stripes(meta, stripe_metas, [], parity_reads, targets)
+            final_stripe, _io = convert_cc_to_lrcc(initial, final, stripes)
+        kinds = [ChunkKind.LOCAL_PARITY] * ec.local_groups + [
+            ChunkKind.GLOBAL_PARITY
+        ] * ec.r_global
+        new_meta = self._assemble_final_meta(
+            meta, group, 0, stripe_metas, final_stripe, k_i, targets, parity_kinds=kinds
+        )
+        for j in range(n_parities):
+            node = targets[j]
+            self.fs.datanodes[node].store_local(
+                new_meta.parities[j].chunk_id,
+                final_stripe.chunks[final_stripe.k + j],
+                at=self.fs.clock,
+            )
+            self.fs.checksums.record(
+                new_meta.parities[j].chunk_id,
+                final_stripe.chunks[final_stripe.k + j],
+            )
+            self.fs.charge_node_encode(node, len(stripe_metas), 1, chunk_size)
+            self.fs.namenode.complete_parity(meta.name, group.group_index, 0, j, n_parities)
+        self.fs.namenode.record_new_stripe(meta.name, group.group_index, 0, new_meta)
+
+    def _lrcc_targets(
+        self,
+        stripe_metas: List[ECStripeMeta],
+        initial: Optional[LocallyRecoverableConvertibleCode],
+        final: LocallyRecoverableConvertibleCode,
+    ) -> Dict[int, str]:
+        """Computing node per final parity (locals then globals)."""
+        targets: Dict[int, str] = {}
+        if initial is None:
+            # CC source: local parity of group g inherits the first
+            # constituent stripe's parity-0 home; globals inherit parity-j.
+            stripes_per_group = final.group_size // stripe_metas[0].k
+            for g in range(final.l):
+                src = stripe_metas[g * stripes_per_group]
+                targets[g] = src.parities[0].node_id
+            for j in range(final.r_global):
+                targets[final.l + j] = stripe_metas[0].parities[j + 1].node_id
+        else:
+            groups_per_final = final.group_size // initial.group_size
+            for g in range(final.l):
+                src_group = g * groups_per_final
+                stripe_i = src_group // initial.l
+                local_g = src_group - stripe_i * initial.l
+                targets[g] = stripe_metas[stripe_i].parities[local_g].node_id
+            for j in range(final.r_global):
+                targets[final.l + j] = stripe_metas[0].parities[initial.l + j].node_id
+        return targets
+
+
+class RRWTranscoder:
+    """Baseline: the application reads, re-encodes and re-writes the file."""
+
+    def __init__(self, fs):
+        self.fs = fs
+
+    def transcode(self, name: str, target_scheme) -> FileMeta:
+        meta = self.fs.namenode.lookup(name)
+        data = self.fs.read_file(name)  # client reads everything
+        temp_name = f"{name}.rrw-tmp"
+        self.fs.write_file(temp_name, data, target_scheme)
+        self.fs.delete_file(name)
+        self.fs.namenode.rename(temp_name, name)
+        return self.fs.namenode.lookup(name)

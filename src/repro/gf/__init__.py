@@ -1,0 +1,40 @@
+"""Galois-field GF(2^8) arithmetic substrate.
+
+All erasure codes in :mod:`repro.codes` are linear codes over GF(256).
+This package provides the field itself (log/exp tables, vectorised
+add/mul/div over numpy uint8 arrays) and the matrix algebra built on it
+(matmul, inversion, rank, Vandermonde and Cauchy constructions).
+"""
+
+from repro.gf.field import GF256, gf_add, gf_div, gf_inv, gf_mul, gf_pow
+from repro.gf.matrix import (
+    SingularMatrixError,
+    cauchy_matrix,
+    gf_identity,
+    gf_matinv,
+    gf_matmul,
+    gf_matvec,
+    gf_rank,
+    gf_solve,
+    is_superregular,
+    vandermonde,
+)
+
+__all__ = [
+    "GF256",
+    "gf_add",
+    "gf_mul",
+    "gf_div",
+    "gf_inv",
+    "gf_pow",
+    "gf_matmul",
+    "gf_matvec",
+    "gf_matinv",
+    "gf_identity",
+    "gf_solve",
+    "gf_rank",
+    "vandermonde",
+    "cauchy_matrix",
+    "is_superregular",
+    "SingularMatrixError",
+]

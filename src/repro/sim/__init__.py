@@ -1,0 +1,23 @@
+"""Event-driven performance experiments.
+
+Where :mod:`repro.dfs` answers "how many bytes move?", this package
+answers "how long do operations take under load?". Client protocols are
+expressed as discrete-event processes over per-node disk/NIC resources
+(:mod:`repro.cluster.engine`), so the paper's latency mechanisms emerge
+structurally:
+
+* 3-r and hybrid writes wait on the **slowest of 3** in-memory receivers;
+* RS writes put parity encode and **slowest-of-n** disk persistence on
+  the critical path;
+* hedged reads race a second replica (or the stripe) after a deadline;
+* degraded reads fan in k chunks and decode;
+* transcode reads fan in parities (CC) or all data chunks (RS).
+
+Service-time constants live in :mod:`repro.sim.calibration` and are fit
+to the paper's Fig 3 anchor points.
+"""
+
+from repro.sim.cluster import SimCluster
+from repro.sim.workload import ClosedLoopResult, ClosedLoopWorkload, percentile
+
+__all__ = ["SimCluster", "ClosedLoopWorkload", "ClosedLoopResult", "percentile"]

@@ -1,0 +1,122 @@
+"""Simulated cluster for performance experiments.
+
+Each Datanode owns a single-disk FIFO :class:`Resource` and a NIC
+resource; client operations queue there, which is where load dependence
+(t = 12 / 25 / 40 worker threads) comes from.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+import numpy as np
+
+from repro.cluster.engine import Environment, Resource
+from repro.sim.calibration import SimCalibration
+
+
+class SimNode:
+    """One Datanode: a disk queue, a NIC queue, and an up/down flag."""
+
+    def __init__(self, env: Environment, node_id: str):
+        self.node_id = node_id
+        self.disk = Resource(env, capacity=1)
+        self.nic = Resource(env, capacity=2)
+        self.is_alive = True
+
+
+class SimCluster:
+    """Nodes + models + helper processes used by the protocols."""
+
+    def __init__(
+        self,
+        n_datanodes: int = 23,
+        seed: int = 0,
+        calibration: Optional[SimCalibration] = None,
+    ):
+        self.env = Environment()
+        self.cal = calibration or SimCalibration()
+        self.rng = np.random.default_rng(seed)
+        self.nodes: List[SimNode] = [
+            SimNode(self.env, f"dn{i:03d}") for i in range(n_datanodes)
+        ]
+
+    # -- selection ------------------------------------------------------------
+    def alive_nodes(self) -> List[SimNode]:
+        return [n for n in self.nodes if n.is_alive]
+
+    def pick_nodes(self, count: int, alive_only: bool = True) -> List[SimNode]:
+        pool = self.alive_nodes() if alive_only else list(self.nodes)
+        idx = self.rng.choice(len(pool), size=count, replace=False)
+        return [pool[int(i)] for i in idx]
+
+    def pick_nodes_any(self, count: int) -> List[SimNode]:
+        """Pick among all nodes, dead ones included (placement does not
+        know about failures that happened after the file was written)."""
+        return self.pick_nodes(count, alive_only=False)
+
+    def fail_fraction(self, fraction: float) -> List[SimNode]:
+        count = max(1, int(round(fraction * len(self.nodes))))
+        victims = self.pick_nodes(count)
+        for node in victims:
+            node.is_alive = False
+        return victims
+
+    # -- primitive processes ----------------------------------------------------
+    def disk_op(self, node: SimNode, service_s: float, overhead_s: float = 0.0):
+        """Queue for the disk, occupy it for the *device* time, then pay
+        any software overhead off-device (it does not block the queue)."""
+        req = node.disk.request()
+        yield req
+        yield self.env.timeout(service_s)
+        node.disk.release(req)
+        if overhead_s:
+            yield self.env.timeout(overhead_s)
+
+    def nic_op(self, node: SimNode, service_s: float):
+        """Occupy a node's NIC (memory-absorb path)."""
+        req = node.nic.request()
+        yield req
+        yield self.env.timeout(service_s)
+        node.nic.release(req)
+
+    def delay(self, seconds: float):
+        yield self.env.timeout(seconds)
+
+    # -- composite helpers --------------------------------------------------------
+    def replica_absorb(self, node: SimNode, size_bytes: float):
+        """In-memory receive of a replicated block (no disk on path)."""
+        service = self.cal.absorb_time(self.rng, size_bytes)
+        return self.env.process(self.nic_op(node, service))
+
+    def ec_chunk_write(self, node: SimNode, size_bytes: float):
+        """Synchronous (client-path) EC chunk write: the HDFS-EC cell
+        path serialises checksum/commit work with the device, so the full
+        service time holds the disk — this is what makes direct-RS small
+        writes slow (Fig 3)."""
+        service = self.cal.ec_write_time(self.rng, size_bytes)
+        return self.env.process(self.disk_op(node, service))
+
+    def background_chunk_write(self, node: SimNode, size_bytes: float):
+        """Striper/background chunk write: only device time occupies the
+        disk; per-chunk software overhead proceeds concurrently."""
+        device = self.cal.disk_time(self.rng, size_bytes)
+        overhead = self.cal.ec_write_time(self.rng, 0.0)
+        return self.env.process(self.disk_op(node, device, overhead))
+
+    def disk_read(self, node: SimNode, size_bytes: float):
+        device = self.cal.disk_time(self.rng, size_bytes)
+        overhead = self.cal.read_overhead(self.rng)
+        return self.env.process(self.disk_op(node, device, overhead))
+
+    def striped_chunk_read(self, node: SimNode, size_bytes: float):
+        """One chunk of a striped (EC) read: heavier per-chunk software
+        path (remote block open, cell reassembly)."""
+        device = self.cal.disk_time(self.rng, size_bytes)
+        overhead = self.cal.ec_read_overhead(self.rng)
+        return self.env.process(self.disk_op(node, device, overhead))
+
+    def background_flush(self, node: SimNode, size_bytes: float):
+        """Async buffer-cache flush: occupies the disk off the client path."""
+        service = self.cal.disk_time(self.rng, size_bytes)
+        return self.env.process(self.disk_op(node, service))

@@ -1,0 +1,34 @@
+"""Production-trace models and analyzers.
+
+The paper's headline numbers (Figs 1 and 12) are month-long, hourly
+ingest+transcode IO series from Google storage clusters, re-costed under
+Morph. The traces themselves are proprietary, so this package generates
+synthetic hourly series calibrated to the paper's magnitudes (PB/h
+ingest, diurnal swing, transcode share of total IO) and feeds them
+through exactly the arithmetic the paper describes: per-hour ingested
+volume x per-transition IO multipliers from
+:mod:`repro.codes.costmodel`.
+"""
+
+from repro.traces.generator import HourlySeries, IngestGenerator
+from repro.traces.services import (
+    ServiceModel,
+    TransitionFlow,
+    service_a,
+    service_b,
+)
+from repro.traces.analyzer import TraceAnalysis, analyze_service, compare_systems
+from repro.traces.hdd import HddTrendModel
+
+__all__ = [
+    "HourlySeries",
+    "IngestGenerator",
+    "ServiceModel",
+    "TransitionFlow",
+    "service_a",
+    "service_b",
+    "TraceAnalysis",
+    "analyze_service",
+    "compare_systems",
+    "HddTrendModel",
+]

@@ -1,0 +1,126 @@
+"""Models of the two production services analysed in Figs 1 and 12.
+
+**Service A** (the largest data service, Fig 1): ingest in 3-r; files
+split into two classes. One class transcodes to a narrow RS (~15-wide)
+after about a day, then to a medium LRC (~40-wide) after about a month;
+the other goes straight to the medium LRC. Medium-LRC data later moves to
+a wide LRC (~60-80-wide).
+
+**Service B**: ingest in 3-r, one single transcode to a very wide LRC
+(~80-wide).
+
+Morph counterparts use CC-friendly parameters (integral width multiples,
+``r_global <= r - 1``) chosen per §5.2, ingest in Hy(1, <first EC>), get
+the first transition free, and do subsequent transitions with CC/LRCC.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List
+
+from repro.core.schemes import CodeKind, ECScheme, HybridScheme, RedundancyScheme, Replication
+from repro.traces.generator import IngestGenerator
+
+HOURS_PER_DAY = 24
+
+
+@dataclass(frozen=True)
+class TransitionFlow:
+    """One transcode step of a file class: from -> to after a delay."""
+
+    label: str
+    source: RedundancyScheme
+    target: RedundancyScheme
+    delay_hours: int
+    #: fraction of the service's ingested bytes that take this step
+    fraction: float
+
+
+@dataclass
+class ServiceModel:
+    """A data service: ingest process + its per-class transition chains."""
+
+    name: str
+    ingest: IngestGenerator
+    #: scheme newly ingested data lands in (baseline)
+    baseline_ingest_scheme: RedundancyScheme
+    #: per-class Morph ingest schemes, weighted like the first transitions
+    morph_ingest_schemes: List = field(default_factory=list)  # (fraction, scheme)
+    baseline_flows: List[TransitionFlow] = field(default_factory=list)
+    morph_flows: List[TransitionFlow] = field(default_factory=list)
+
+    def max_delay_hours(self) -> int:
+        delays = [f.delay_hours for f in self.baseline_flows + self.morph_flows]
+        return max(delays) if delays else 0
+
+
+# -- CC-friendly scheme constants used by both services ---------------------
+
+NARROW_RS = ECScheme(CodeKind.RS, 12, 15)
+NARROW_CC = ECScheme(CodeKind.CC, 12, 15)
+MED_LRC = ECScheme(CodeKind.LRC, 36, 41, local_groups=3, r_global=2)
+MED_LRCC = ECScheme(CodeKind.LRCC, 36, 41, local_groups=3, r_global=2)
+WIDE_LRC = ECScheme(CodeKind.LRC, 72, 80, local_groups=6, r_global=2)
+WIDE_LRCC = ECScheme(CodeKind.LRCC, 72, 80, local_groups=6, r_global=2)
+
+
+def service_a(seed: int = 11, base_pb_per_hour: float = 3.2) -> ServiceModel:
+    """The paper's Service A (same application as Fig 1).
+
+    60% of bytes: 3-r -> narrow RS (1 day) -> medium LRC (30 days)
+    -> wide LRC (90 days). 40% of bytes: 3-r -> medium LRC (2 days)
+    -> wide LRC (90 days).
+    """
+    ingest = IngestGenerator(base_pb_per_hour=base_pb_per_hour, seed=seed)
+    # Ingest split between the two file classes (by bytes).
+    frac_rs, frac_lrc = 0.6, 0.4
+    # Per-transition byte fractions (of *total* ingest): most data is
+    # deleted before it ever cools enough to transcode, so each later
+    # stage sees a diminishing share. Calibrated so baseline transcode IO
+    # is ~25% of total (Fig 1: transcode is 20-33% of 5-13 PB/h).
+    f_narrow, f_narrow_to_med, f_direct_med, f_to_wide = 0.18, 0.08, 0.08, 0.10
+    baseline_flows = [
+        TransitionFlow("3r->narrowRS", Replication(3), NARROW_RS, 1 * HOURS_PER_DAY, f_narrow),
+        TransitionFlow("narrowRS->medLRC", NARROW_RS, MED_LRC, 30 * HOURS_PER_DAY, f_narrow_to_med),
+        TransitionFlow("3r->medLRC", Replication(3), MED_LRC, 2 * HOURS_PER_DAY, f_direct_med),
+        TransitionFlow("medLRC->wideLRC", MED_LRC, WIDE_LRC, 90 * HOURS_PER_DAY, f_to_wide),
+    ]
+    hy_narrow = HybridScheme(1, NARROW_CC)
+    hy_med = HybridScheme(1, MED_LRCC)
+    morph_flows = [
+        TransitionFlow("Hy->narrowCC", hy_narrow, NARROW_CC, 1 * HOURS_PER_DAY, f_narrow),
+        TransitionFlow("narrowCC->medLRCC", NARROW_CC, MED_LRCC, 30 * HOURS_PER_DAY, f_narrow_to_med),
+        TransitionFlow("Hy->medLRCC", hy_med, MED_LRCC, 2 * HOURS_PER_DAY, f_direct_med),
+        TransitionFlow("medLRCC->wideLRCC", MED_LRCC, WIDE_LRCC, 90 * HOURS_PER_DAY, f_to_wide),
+    ]
+    return ServiceModel(
+        name="Service A",
+        ingest=ingest,
+        baseline_ingest_scheme=Replication(3),
+        morph_ingest_schemes=[(frac_rs, hy_narrow), (frac_lrc, hy_med)],
+        baseline_flows=baseline_flows,
+        morph_flows=morph_flows,
+    )
+
+
+def service_b(seed: int = 23, base_pb_per_hour: float = 1.6) -> ServiceModel:
+    """The paper's Service B: one transition, 3-r -> very wide LRC."""
+    ingest = IngestGenerator(base_pb_per_hour=base_pb_per_hour, seed=seed)
+    # 60% of ingested bytes survive long enough to be transcoded.
+    survive = 0.6
+    baseline_flows = [
+        TransitionFlow("3r->wideLRC", Replication(3), WIDE_LRC, 3 * HOURS_PER_DAY, survive),
+    ]
+    hy_wide = HybridScheme(1, WIDE_LRCC)
+    morph_flows = [
+        TransitionFlow("Hy->wideLRCC", hy_wide, WIDE_LRCC, 3 * HOURS_PER_DAY, survive),
+    ]
+    return ServiceModel(
+        name="Service B",
+        ingest=ingest,
+        baseline_ingest_scheme=Replication(3),
+        morph_ingest_schemes=[(1.0, hy_wide)],
+        baseline_flows=baseline_flows,
+        morph_flows=morph_flows,
+    )

@@ -1,0 +1,123 @@
+"""Block metadata helpers, client error paths, Namenode restart."""
+
+import numpy as np
+import pytest
+
+from repro.core.schemes import CodeKind, ECScheme, HybridScheme
+from repro.dfs import MorphFS
+from repro.dfs.blocks import FileState
+from repro.dfs.client import ReadError
+from repro.dfs.namenode import Namenode
+
+KB = 1024
+CC69 = ECScheme(CodeKind.CC, 6, 9)
+
+
+def hybrid_fs(n_kb=96, seed=1):
+    fs = MorphFS(chunk_size=4 * KB, future_widths=[6, 12])
+    data = np.random.default_rng(seed).integers(0, 256, n_kb * KB, dtype=np.uint8)
+    fs.write_file("f", data, HybridScheme(1, CC69))
+    return fs, data
+
+
+class TestFileMetaHelpers:
+    def test_hybrid_blocks_nest_correct_replicas(self):
+        fs, _ = hybrid_fs()
+        meta = fs.namenode.lookup("f")
+        for hb in meta.hybrid_blocks():
+            first = hb.stripe.stripe_index * hb.stripe.k
+            for block in hb.replicas:
+                assert block.first_chunk < first + hb.stripe.k
+                assert block.first_chunk + block.n_chunks > first
+
+    def test_chunk_by_id(self):
+        fs, _ = hybrid_fs()
+        meta = fs.namenode.lookup("f")
+        target = meta.stripes[1].parities[2]
+        assert meta.chunk_by_id(target.chunk_id) is target
+        assert meta.chunk_by_id("nope") is None
+
+    def test_all_chunks_counts(self):
+        fs, _ = hybrid_fs(n_kb=96)  # 24 chunks -> 4 stripes of CC(6,9)
+        meta = fs.namenode.lookup("f")
+        # 4 stripes x 9 + 4 replica blocks x 1 copy.
+        assert len(meta.all_chunks()) == 4 * 9 + 4
+
+    def test_n_data_chunks(self):
+        fs, _ = hybrid_fs(n_kb=96)
+        meta = fs.namenode.lookup("f")
+        assert meta.n_data_chunks == 24
+
+    def test_is_hybrid_flag(self):
+        fs, _ = hybrid_fs()
+        meta = fs.namenode.lookup("f")
+        assert meta.is_hybrid
+        fs.transcode("f", CC69)
+        assert not meta.is_hybrid
+
+
+class TestClientErrorPaths:
+    def test_read_beyond_eof(self):
+        fs, data = hybrid_fs()
+        with pytest.raises(ValueError):
+            fs.read_file("f", offset=len(data), length=1)
+
+    def test_zero_length_read(self):
+        fs, data = hybrid_fs()
+        out = fs.read_file("f", offset=100, length=0)
+        assert len(out) == 0
+
+    def test_replication_file_with_all_copies_dead(self):
+        from repro.core.schemes import Replication
+        from repro.dfs import BaselineDFS
+
+        fs = BaselineDFS(chunk_size=4 * KB)
+        data = np.random.default_rng(2).integers(0, 256, 16 * KB, dtype=np.uint8)
+        fs.write_file("r", data, Replication(2))
+        meta = fs.namenode.lookup("r")
+        for copy in meta.replica_blocks[0].copies:
+            fs.cluster.fail_node(copy.node_id)
+            fs.datanodes[copy.node_id].fail()
+        with pytest.raises(ReadError):
+            fs.read_file("r")
+
+    def test_unaligned_cross_stripe_range(self):
+        fs, data = hybrid_fs(n_kb=96)
+        # Range straddling two stripes, offset mid-chunk.
+        out = fs.read_file("f", offset=23 * KB, length=26 * KB, prefer_striped=True)
+        assert np.array_equal(out, data[23 * KB : 49 * KB])
+
+
+class TestNamenodeRestart:
+    def test_snapshot_restore_roundtrip(self):
+        fs, data = hybrid_fs()
+        snap = fs.namenode.snapshot()
+        fs.namenode = Namenode.restore(snap)
+        assert np.array_equal(fs.read_file("f"), data)
+
+    def test_restart_mid_transcode_drops_utm_keeps_files(self):
+        fs, data = hybrid_fs(n_kb=192)
+        fs.transcode("f", CC69)
+        target = ECScheme(CodeKind.CC, 12, 15)
+        groups, parities = fs._build_groups(fs.namenode.lookup("f"), target)
+        fs.namenode.enqueue_transcode("f", target, groups, parities)
+        for g in fs.namenode.poll_work(2):
+            fs.transcoder.execute_group(g)
+        assert fs.namenode.lookup("f").state is FileState.TRANSCODING
+        # Crash + restart from the durable namespace.
+        fs.namenode = Namenode.restore(fs.namenode.snapshot())
+        meta = fs.namenode.lookup("f")
+        assert meta.state is FileState.HEALTHY
+        assert meta.scheme == CC69  # old metadata authoritative
+        assert np.array_equal(fs.read_file("f"), data)
+        # Re-run the whole conversion cleanly.
+        fs.transcode("f", target)
+        assert fs.namenode.lookup("f").scheme == target
+        assert np.array_equal(fs.read_file("f"), data)
+
+    def test_chunk_ids_stay_unique_after_restart(self):
+        fs, data = hybrid_fs()
+        before = fs.namenode.next_chunk_id("x")
+        fs.namenode = Namenode.restore(fs.namenode.snapshot())
+        after = fs.namenode.next_chunk_id("x")
+        assert before != after

@@ -1,0 +1,102 @@
+"""Stripe/chunk plumbing and the generic ErasureCode machinery."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.codes.base import (
+    DecodeError,
+    Stripe,
+    chunks_equal,
+    join_chunks,
+    split_into_chunks,
+)
+from repro.codes.rs import ReedSolomon
+
+
+class TestSplitJoin:
+    def test_split_even(self):
+        data = np.arange(12, dtype=np.uint8)
+        chunks = split_into_chunks(data, 3)
+        assert len(chunks) == 3
+        assert all(len(c) == 4 for c in chunks)
+        assert np.array_equal(join_chunks(chunks), data)
+
+    def test_split_pads_tail(self):
+        data = np.arange(10, dtype=np.uint8)
+        chunks = split_into_chunks(data, 4)
+        assert all(len(c) == 3 for c in chunks)
+        assert np.array_equal(join_chunks(chunks, length=10), data)
+
+    def test_split_empty(self):
+        chunks = split_into_chunks(np.array([], dtype=np.uint8), 2)
+        assert len(chunks) == 2
+
+    @settings(max_examples=40, deadline=None)
+    @given(st.integers(1, 200), st.integers(1, 12))
+    def test_roundtrip_property(self, n, k):
+        rng = np.random.default_rng(n * 31 + k)
+        data = rng.integers(0, 256, n, dtype=np.uint8)
+        assert np.array_equal(join_chunks(split_into_chunks(data, k), length=n), data)
+
+    def test_chunks_equal(self):
+        a = [np.array([1, 2], np.uint8)]
+        b = [np.array([1, 2], np.uint8)]
+        assert chunks_equal(a, b)
+        assert not chunks_equal(a, [np.array([1, 3], np.uint8)])
+        assert not chunks_equal(a, a + a)
+
+
+class TestStripe:
+    def _stripe(self):
+        code = ReedSolomon(4, 6)
+        rng = np.random.default_rng(3)
+        data = [rng.integers(0, 256, 8, dtype=np.uint8) for _ in range(4)]
+        return code.encode_stripe(data)
+
+    def test_properties(self):
+        s = self._stripe()
+        assert s.k == 4 and s.n == 6 and s.r == 2
+        assert len(s.data_chunks) == 4
+        assert len(s.parity_chunks) == 2
+        assert s.chunk_size() == 8
+
+    def test_erase_is_copy(self):
+        s = self._stripe()
+        e = s.erase(0, 5)
+        assert e.erased_indices() == [0, 5]
+        assert s.erased_indices() == []
+        assert e.available_indices() == [1, 2, 3, 4]
+
+    def test_chunk_size_requires_data(self):
+        s = Stripe(2, 3, [None, None, None])
+        with pytest.raises(ValueError):
+            s.chunk_size()
+
+
+class TestGenericCodeMachinery:
+    def test_encode_wrong_chunk_count(self):
+        code = ReedSolomon(4, 6)
+        with pytest.raises(ValueError):
+            code.encode([np.zeros(4, np.uint8)] * 3)
+
+    def test_decode_insufficient_chunks(self):
+        code = ReedSolomon(4, 6)
+        with pytest.raises(DecodeError):
+            code.decode({0: np.zeros(4, np.uint8)}, [1])
+
+    def test_decode_nothing_returns_empty(self):
+        code = ReedSolomon(4, 6)
+        assert code.decode({}, []) == {}
+
+    def test_storage_overhead(self):
+        assert ReedSolomon(6, 9).storage_overhead() == pytest.approx(1.5)
+
+    def test_invalid_params(self):
+        with pytest.raises(ValueError):
+            ReedSolomon(0, 3)
+        with pytest.raises(ValueError):
+            ReedSolomon(5, 5)
+
+    def test_repr(self):
+        assert repr(ReedSolomon(6, 9)) == "ReedSolomon(6,9)"

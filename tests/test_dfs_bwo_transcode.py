@@ -1,0 +1,118 @@
+"""Native parity-growth transcodes via bandwidth-optimal vector codes.
+
+The paper's Fig 15 case B — EC(6,7) -> EC(12,14) — as a first-class DFS
+operation: stripes ingested with ``anticipate_parities`` carry the
+piggybacked pre-computation, and the native transcoder reads only the
+parities plus the contiguous tail fraction of each data chunk.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.planner import TranscodeKind, TranscodePlanner
+from repro.core.schemes import CodeKind, ECScheme, HybridScheme
+from repro.dfs import MorphFS
+from repro.dfs.transcoder import TranscodeError
+
+KB = 1024
+SRC = ECScheme(CodeKind.CC, 6, 7, anticipate_parities=2)
+TGT = ECScheme(CodeKind.CC, 12, 14)
+
+
+def bwo_fs(n_kb=96, seed=1):
+    fs = MorphFS(chunk_size=4 * KB, future_widths=[6, 12])
+    data = np.random.default_rng(seed).integers(0, 256, n_kb * KB, dtype=np.uint8)
+    fs.write_file("f", data, HybridScheme(1, SRC))
+    fs.transcode("f", SRC)  # free transition
+    return fs, data
+
+
+class TestSchemeDeclaration:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ECScheme(CodeKind.RS, 6, 7, anticipate_parities=2)
+        with pytest.raises(ValueError):
+            ECScheme(CodeKind.CC, 6, 9, anticipate_parities=3)  # not a growth
+
+    def test_make_code_returns_vector_code(self):
+        from repro.codes.bandwidth import BandwidthOptimalCC
+
+        code = SRC.make_code()
+        assert isinstance(code, BandwidthOptimalCC)
+        assert code.r_initial == 1 and code.r_final == 2
+
+    def test_footprint_unchanged(self):
+        assert SRC.storage_overhead == pytest.approx(7 / 6)
+
+
+class TestPlanner:
+    def test_anticipated_growth_is_convertible(self):
+        step = TranscodePlanner().plan(SRC, TGT)
+        assert step.kind is TranscodeKind.CONVERTIBLE
+        # Read multiplier: (r_I + k_I * (r_F-r_I)/r_F) * lam / span = 8/12.
+        assert step.cost.read == pytest.approx(8 / 12)
+
+    def test_unanticipated_growth_falls_back_to_rrw(self):
+        plain = ECScheme(CodeKind.CC, 6, 7)
+        step = TranscodePlanner().plan(plain, TGT)
+        assert step.kind is TranscodeKind.RRW
+
+
+class TestNativeBwoTranscode:
+    def test_io_matches_fig8(self):
+        fs, data = bwo_fs()
+        r0 = fs.metrics.disk_bytes_read
+        fs.transcode("f", TGT)
+        reads = fs.metrics.disk_bytes_read - r0
+        # Per 2-stripe group: 2 full parities + 12 half data chunks = 8
+        # chunk-equivalents; 2 groups in a 24-chunk file. RS reads 24.
+        assert reads == pytest.approx(16 * 4 * KB)
+
+    def test_result_byte_identical_to_direct_encode(self):
+        fs, data = bwo_fs()
+        fs.transcode("f", TGT)
+        meta = fs.namenode.lookup("f")
+        assert meta.scheme == TGT
+        code = fs.cc_codec(12, 14)
+        for stripe in meta.stripes:
+            chunks = [fs.datanodes[c.node_id].read(c.chunk_id) for c in stripe.data]
+            expected = code.encode(chunks)
+            for j, parity in enumerate(stripe.parities):
+                stored = fs.datanodes[parity.node_id].read(parity.chunk_id)
+                assert np.array_equal(stored, expected[j])
+
+    def test_readback_and_degraded_read(self):
+        fs, data = bwo_fs()
+        fs.transcode("f", TGT)
+        assert np.array_equal(fs.read_file("f"), data)
+        meta = fs.namenode.lookup("f")
+        for victim in (meta.stripes[0].data[5].node_id,
+                       meta.stripes[1].parities[0].node_id):
+            fs.cluster.fail_node(victim)
+            fs.datanodes[victim].fail()
+        assert np.array_equal(fs.read_file("f"), data)
+
+    def test_bwo_stripe_decodes_before_transcode(self):
+        """The piggybacked stripes tolerate r_I failures while stored."""
+        fs, data = bwo_fs()
+        meta = fs.namenode.lookup("f")
+        victim = meta.stripes[0].data[2].node_id
+        fs.cluster.fail_node(victim)
+        fs.datanodes[victim].fail()
+        assert np.array_equal(fs.read_file("f"), data)
+
+    def test_growth_without_anticipation_uses_rrw(self):
+        fs = MorphFS(chunk_size=4 * KB, future_widths=[6, 12])
+        data = np.random.default_rng(2).integers(0, 256, 96 * KB, dtype=np.uint8)
+        fs.write_file("f", data, ECScheme(CodeKind.CC, 6, 7))
+        r0 = fs.metrics.disk_bytes_read
+        fs.transcode("f", TGT)  # falls back to RRW
+        assert fs.metrics.disk_bytes_read - r0 >= len(data)
+        assert np.array_equal(fs.read_file("f"), data)
+
+    def test_tail_misalignment_rejected(self):
+        fs = MorphFS(chunk_size=4 * KB, future_widths=[6, 12])
+        data = np.random.default_rng(3).integers(0, 256, 72 * KB, dtype=np.uint8)
+        fs.write_file("f", data, SRC)  # 3 stripes: not divisible by lam=2
+        with pytest.raises(TranscodeError):
+            fs.transcode("f", TGT)

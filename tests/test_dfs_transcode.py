@@ -1,0 +1,223 @@
+"""Native transcode through the DFS: free transitions, CC merges,
+LRCC targets, RRW baseline, crash consistency (§4.5, §6.2)."""
+
+import numpy as np
+import pytest
+
+from repro.core.schemes import CodeKind, ECScheme, HybridScheme, Replication
+from repro.dfs import BaselineDFS, MorphFS
+from repro.dfs.blocks import FileState
+
+KB = 1024
+CC69 = ECScheme(CodeKind.CC, 6, 9)
+CC1215 = ECScheme(CodeKind.CC, 12, 15)
+
+
+def morph_with_file(n_kb=96, seed=1, scheme=None, widths=(6, 12)):
+    fs = MorphFS(chunk_size=4 * KB, future_widths=list(widths))
+    data = np.random.default_rng(seed).integers(0, 256, n_kb * KB, dtype=np.uint8)
+    fs.write_file("f", data, scheme or HybridScheme(1, CC69))
+    return fs, data
+
+
+class TestFreeTransition:
+    def test_zero_io(self):
+        fs, data = morph_with_file()
+        before = fs.metrics.summary()
+        fs.transcode("f", CC69)
+        after = fs.metrics.summary()
+        assert before == after  # literally no IO
+
+    def test_capacity_drops_by_replica(self):
+        fs, data = morph_with_file()
+        cap = fs.capacity_used()
+        fs.transcode("f", CC69)
+        assert fs.capacity_used() == pytest.approx(cap - len(data))
+
+    def test_metadata_flipped(self):
+        fs, data = morph_with_file()
+        fs.transcode("f", CC69)
+        meta = fs.namenode.lookup("f")
+        assert meta.scheme == CC69
+        assert meta.replica_blocks == []
+        assert meta.version == 1
+
+    def test_readable_after(self):
+        fs, data = morph_with_file()
+        fs.transcode("f", CC69)
+        assert np.array_equal(fs.read_file("f"), data)
+
+
+class TestNativeCcMerge:
+    def test_merge_reads_parities_only(self):
+        fs, data = morph_with_file()
+        fs.transcode("f", CC69)
+        reads_before = fs.metrics.disk_bytes_read
+        fs.transcode("f", CC1215)
+        reads = fs.metrics.disk_bytes_read - reads_before
+        meta = fs.namenode.lookup("f")
+        n_initial_stripes = 96 // 24  # 24 chunks / 6 per stripe... see below
+        # 96 KB / 4 KB = 24 chunks = 4 stripes of CC(6,9): 12 parity chunks.
+        assert reads == pytest.approx(12 * 4 * KB)
+
+    def test_merge_is_network_free_with_colocation(self):
+        fs, data = morph_with_file()
+        fs.transcode("f", CC69)
+        net_before = fs.metrics.net_bytes_total
+        fs.transcode("f", CC1215)
+        assert fs.metrics.net_bytes_total == net_before  # §5.3 co-location
+
+    def test_result_matches_direct_encode(self):
+        fs, data = morph_with_file()
+        fs.transcode("f", CC69)
+        fs.transcode("f", CC1215)
+        meta = fs.namenode.lookup("f")
+        code = fs.cc_codec(12, 15)
+        for stripe in meta.stripes:
+            chunks = [fs.datanodes[c.node_id].read(c.chunk_id) for c in stripe.data]
+            parities = code.encode(chunks)
+            for j, parity_meta in enumerate(stripe.parities):
+                stored = fs.datanodes[parity_meta.node_id].read(parity_meta.chunk_id)
+                assert np.array_equal(stored, parities[j])
+
+    def test_old_parities_deleted_after_switch(self):
+        fs, data = morph_with_file()
+        fs.transcode("f", CC69)
+        cap_before = fs.capacity_used()
+        fs.transcode("f", CC1215)
+        # 12 old parities deleted, 3 new written per 2 merged stripes (6).
+        expected = cap_before - 12 * 4 * KB + 6 * 4 * KB
+        assert fs.capacity_used() == pytest.approx(expected)
+
+    def test_degraded_read_after_merge(self):
+        fs, data = morph_with_file()
+        fs.transcode("f", CC69)
+        fs.transcode("f", CC1215)
+        meta = fs.namenode.lookup("f")
+        victim = meta.stripes[0].data[3].node_id
+        fs.cluster.fail_node(victim)
+        fs.datanodes[victim].fail()
+        assert np.array_equal(fs.read_file("f"), data)
+
+    def test_short_tail_group(self):
+        """A stripe count not divisible by lambda leaves a narrower tail."""
+        fs, data = morph_with_file(n_kb=72)  # 18 chunks = 3 stripes of 6
+        fs.transcode("f", CC69)
+        fs.transcode("f", CC1215)
+        meta = fs.namenode.lookup("f")
+        assert [s.k for s in meta.stripes] == [12, 6]
+        assert np.array_equal(fs.read_file("f"), data)
+
+    def test_hybrid_directly_to_wider_cc(self):
+        """Hybrid -> CC(12,15): replicas dropped, then parities merged."""
+        fs, data = morph_with_file()
+        fs.transcode("f", CC1215)
+        meta = fs.namenode.lookup("f")
+        assert meta.scheme == CC1215
+        assert meta.replica_blocks == []
+        assert np.array_equal(fs.read_file("f"), data)
+
+    def test_chain_of_merges(self):
+        fs, data = morph_with_file(
+            n_kb=160, scheme=HybridScheme(1, ECScheme(CodeKind.CC, 5, 8)),
+            widths=(5, 10, 20))
+        for scheme in (ECScheme(CodeKind.CC, 5, 8), ECScheme(CodeKind.CC, 10, 13),
+                       ECScheme(CodeKind.CC, 20, 23)):
+            fs.transcode("f", scheme)
+            assert np.array_equal(fs.read_file("f"), data)
+        meta = fs.namenode.lookup("f")
+        assert meta.stripes[0].k == 20
+
+
+class TestLrccTargets:
+    def test_cc_to_lrcc(self):
+        fs, data = morph_with_file(n_kb=96, widths=(6, 24))
+        fs.transcode("f", CC69)
+        lrcc = ECScheme(CodeKind.LRCC, 24, 30, local_groups=4, r_global=2)
+        reads_before = fs.metrics.disk_bytes_read
+        fs.transcode("f", lrcc)
+        reads = fs.metrics.disk_bytes_read - reads_before
+        assert reads == pytest.approx(12 * 4 * KB)  # 3 parities x 4 stripes
+        assert np.array_equal(fs.read_file("f"), data)
+
+    def test_lrcc_to_lrcc(self):
+        fs = MorphFS(chunk_size=4 * KB, future_widths=[12, 24])
+        data = np.random.default_rng(7).integers(0, 256, 96 * KB, dtype=np.uint8)
+        small = ECScheme(CodeKind.LRCC, 12, 16, local_groups=2, r_global=2)
+        big = ECScheme(CodeKind.LRCC, 24, 30, local_groups=4, r_global=2)
+        fs.write_file("f", data, small)
+        fs.transcode("f", big)
+        meta = fs.namenode.lookup("f")
+        assert meta.scheme == big
+        assert np.array_equal(fs.read_file("f"), data)
+
+
+class TestRrwBaseline:
+    def test_baseline_chain(self):
+        fs = BaselineDFS(chunk_size=4 * KB)
+        data = np.random.default_rng(8).integers(0, 256, 96 * KB, dtype=np.uint8)
+        fs.write_file("f", data, Replication(3))
+        fs.transcode("f", ECScheme(CodeKind.RS, 6, 9))
+        fs.transcode("f", ECScheme(CodeKind.RS, 12, 15))
+        assert np.array_equal(fs.read_file("f"), data)
+        assert fs.namenode.lookup("f").scheme == ECScheme(CodeKind.RS, 12, 15)
+
+    def test_rrw_reads_all_data(self):
+        fs = BaselineDFS(chunk_size=4 * KB)
+        data = np.random.default_rng(9).integers(0, 256, 96 * KB, dtype=np.uint8)
+        fs.write_file("f", data, ECScheme(CodeKind.RS, 6, 9))
+        reads_before = fs.metrics.disk_bytes_read
+        fs.transcode("f", ECScheme(CodeKind.RS, 12, 15))
+        assert fs.metrics.disk_bytes_read - reads_before >= len(data)
+
+    def test_morph_falls_back_to_rrw_for_rs_target(self):
+        fs, data = morph_with_file()
+        fs.transcode("f", ECScheme(CodeKind.RS, 12, 15))
+        assert np.array_equal(fs.read_file("f"), data)
+
+
+class TestCrashConsistency:
+    def _mid_transcode(self):
+        fs, data = morph_with_file(n_kb=192)  # 8 stripes -> 4 groups
+        fs.transcode("f", CC69)
+        groups, parities = fs._build_groups(fs.namenode.lookup("f"), CC1215)
+        fs.namenode.enqueue_transcode("f", CC1215, groups, parities)
+        half = fs.namenode.poll_work(len(groups) // 2)
+        for g in half:
+            fs.transcoder.execute_group(g)
+        return fs, data
+
+    def test_reads_work_mid_transcode(self):
+        fs, data = self._mid_transcode()
+        assert fs.namenode.lookup("f").state is FileState.TRANSCODING
+        assert np.array_equal(fs.read_file("f"), data)
+
+    def test_old_metadata_in_effect_until_switch(self):
+        fs, data = self._mid_transcode()
+        meta = fs.namenode.lookup("f")
+        assert meta.scheme == CC69
+        assert all(s.k == 6 for s in meta.stripes)
+
+    def test_degraded_read_mid_transcode(self):
+        fs, data = self._mid_transcode()
+        meta = fs.namenode.lookup("f")
+        victim = meta.stripes[0].data[0].node_id
+        fs.cluster.fail_node(victim)
+        fs.datanodes[victim].fail()
+        assert np.array_equal(fs.read_file("f"), data)
+
+    def test_crash_and_idempotent_restart(self):
+        fs, data = self._mid_transcode()
+        fs.namenode.abort_transcode("f")  # Namenode crash: UTM is in-memory
+        assert np.array_equal(fs.read_file("f"), data)
+        fs.transcode("f", CC1215)  # restart re-runs the whole conversion
+        meta = fs.namenode.lookup("f")
+        assert meta.scheme == CC1215
+        assert np.array_equal(fs.read_file("f"), data)
+
+    def test_completion_triggers_single_atomic_switch(self):
+        fs, data = morph_with_file()
+        fs.transcode("f", CC69)
+        version = fs.namenode.lookup("f").version
+        fs.transcode("f", CC1215)
+        assert fs.namenode.lookup("f").version == version + 1

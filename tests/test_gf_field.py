@@ -1,0 +1,130 @@
+"""GF(2^8) field axioms and table consistency."""
+
+import numpy as np
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.gf.field import (
+    FIELD_ORDER,
+    FIELD_SIZE,
+    GF256,
+    gf_add,
+    gf_div,
+    gf_inv,
+    gf_mul,
+    gf_pow,
+)
+
+elements = st.integers(min_value=0, max_value=255)
+nonzero = st.integers(min_value=1, max_value=255)
+
+
+class TestScalarArithmetic:
+    def test_add_is_xor(self):
+        assert gf_add(0b1010, 0b0110) == 0b1100
+
+    def test_add_self_is_zero(self):
+        for a in (0, 1, 77, 255):
+            assert gf_add(a, a) == 0
+
+    def test_mul_identity(self):
+        for a in range(256):
+            assert gf_mul(a, 1) == a
+
+    def test_mul_zero(self):
+        for a in (0, 1, 200, 255):
+            assert gf_mul(a, 0) == 0
+            assert gf_mul(0, a) == 0
+
+    @given(elements, elements)
+    def test_mul_commutative(self, a, b):
+        assert gf_mul(a, b) == gf_mul(b, a)
+
+    @given(elements, elements, elements)
+    def test_mul_associative(self, a, b, c):
+        assert gf_mul(gf_mul(a, b), c) == gf_mul(a, gf_mul(b, c))
+
+    @given(elements, elements, elements)
+    def test_distributive(self, a, b, c):
+        left = gf_mul(a, gf_add(b, c))
+        right = gf_add(gf_mul(a, b), gf_mul(a, c))
+        assert left == right
+
+    @given(nonzero)
+    def test_inverse(self, a):
+        assert gf_mul(a, gf_inv(a)) == 1
+
+    def test_inv_zero_raises(self):
+        with pytest.raises(ZeroDivisionError):
+            gf_inv(0)
+
+    @given(elements, nonzero)
+    def test_div_roundtrip(self, a, b):
+        assert gf_mul(gf_div(a, b), b) == a
+
+    @given(nonzero, st.integers(min_value=0, max_value=600))
+    def test_pow_matches_repeated_mul(self, a, e):
+        expected = 1
+        for _ in range(e):
+            expected = gf_mul(expected, a)
+        assert gf_pow(a, e) == expected
+
+    def test_pow_negative(self):
+        for a in (1, 2, 133):
+            assert gf_mul(gf_pow(a, -1), a) == 1
+            assert gf_pow(a, -2) == gf_inv(gf_pow(a, 2))
+
+    def test_pow_zero_base(self):
+        assert gf_pow(0, 0) == 1
+        assert gf_pow(0, 5) == 0
+        with pytest.raises(ZeroDivisionError):
+            gf_pow(0, -1)
+
+
+class TestVectorised:
+    def test_mul_broadcast_matches_scalar(self):
+        rng = np.random.default_rng(0)
+        a = rng.integers(0, 256, 500, dtype=np.uint8)
+        b = rng.integers(0, 256, 500, dtype=np.uint8)
+        out = gf_mul(a, b)
+        for i in range(0, 500, 37):
+            assert out[i] == gf_mul(int(a[i]), int(b[i]))
+
+    def test_add_arrays(self):
+        a = np.array([1, 2, 3], dtype=np.uint8)
+        b = np.array([3, 2, 1], dtype=np.uint8)
+        assert gf_add(a, b).tolist() == [2, 0, 2]
+
+    def test_inv_array(self):
+        a = np.arange(1, 256, dtype=np.uint8)
+        inv = gf_inv(a)
+        assert gf_mul(a, inv).tolist() == [1] * 255
+
+    def test_inv_array_with_zero_raises(self):
+        with pytest.raises(ZeroDivisionError):
+            gf_inv(np.array([0, 1], dtype=np.uint8))
+
+
+class TestFieldStructure:
+    def test_generator_has_full_order(self):
+        seen = set()
+        x = 1
+        for _ in range(FIELD_ORDER):
+            seen.add(x)
+            x = gf_mul(x, GF256.generator)
+        assert len(seen) == FIELD_ORDER
+        assert x == 1  # cycles back
+
+    def test_elements_distinct(self):
+        elems = GF256.elements()
+        assert len(set(elems)) == FIELD_ORDER
+        assert 0 not in elems
+
+    def test_element_indexing(self):
+        assert GF256.element(0) == 1
+        assert GF256.element(1) == GF256.generator
+        assert GF256.element(255) == GF256.element(0)
+
+    def test_field_size_constants(self):
+        assert FIELD_SIZE == 256
+        assert FIELD_ORDER == 255

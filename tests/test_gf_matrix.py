@@ -1,0 +1,135 @@
+"""Matrix algebra over GF(256): matmul, inversion, rank, constructions."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.gf.field import gf_mul
+from repro.gf.matrix import (
+    SingularMatrixError,
+    cauchy_matrix,
+    gf_identity,
+    gf_matinv,
+    gf_matmul,
+    gf_matvec,
+    gf_rank,
+    gf_solve,
+    is_superregular,
+    vandermonde,
+)
+
+
+def random_matrix(rng, rows, cols):
+    return rng.integers(0, 256, (rows, cols), dtype=np.uint8)
+
+
+class TestMatmul:
+    def test_identity(self):
+        rng = np.random.default_rng(1)
+        a = random_matrix(rng, 5, 5)
+        assert np.array_equal(gf_matmul(gf_identity(5), a), a)
+        assert np.array_equal(gf_matmul(a, gf_identity(5)), a)
+
+    def test_matches_scalar_definition(self):
+        rng = np.random.default_rng(2)
+        a = random_matrix(rng, 3, 4)
+        b = random_matrix(rng, 4, 2)
+        out = gf_matmul(a, b)
+        for i in range(3):
+            for j in range(2):
+                acc = 0
+                for t in range(4):
+                    acc ^= gf_mul(int(a[i, t]), int(b[t, j]))
+                assert out[i, j] == acc
+
+    def test_shape_mismatch_raises(self):
+        with pytest.raises(ValueError):
+            gf_matmul(np.zeros((2, 3), np.uint8), np.zeros((2, 3), np.uint8))
+
+    def test_matvec(self):
+        rng = np.random.default_rng(3)
+        a = random_matrix(rng, 4, 4)
+        x = rng.integers(0, 256, 4, dtype=np.uint8)
+        assert np.array_equal(gf_matvec(a, x), gf_matmul(a, x.reshape(-1, 1)).reshape(-1))
+
+
+class TestInversion:
+    @settings(max_examples=30, deadline=None)
+    @given(st.integers(min_value=0, max_value=10_000))
+    def test_inverse_roundtrip(self, seed):
+        rng = np.random.default_rng(seed)
+        n = int(rng.integers(1, 9))
+        a = random_matrix(rng, n, n)
+        try:
+            inv = gf_matinv(a)
+        except SingularMatrixError:
+            assert gf_rank(a) < n
+            return
+        assert np.array_equal(gf_matmul(a, inv), gf_identity(n))
+        assert np.array_equal(gf_matmul(inv, a), gf_identity(n))
+
+    def test_singular_raises(self):
+        a = np.array([[1, 2], [1, 2]], dtype=np.uint8)
+        with pytest.raises(SingularMatrixError):
+            gf_matinv(a)
+
+    def test_non_square_raises(self):
+        with pytest.raises(ValueError):
+            gf_matinv(np.zeros((2, 3), np.uint8))
+
+    def test_solve_vector(self):
+        rng = np.random.default_rng(7)
+        a = cauchy_matrix(range(5), range(10, 15))
+        x = rng.integers(0, 256, 5, dtype=np.uint8)
+        b = gf_matvec(a, x)
+        assert np.array_equal(gf_solve(a, b), x)
+
+    def test_solve_matrix(self):
+        rng = np.random.default_rng(8)
+        a = cauchy_matrix(range(4), range(10, 14))
+        x = random_matrix(rng, 4, 6)
+        b = gf_matmul(a, x)
+        assert np.array_equal(gf_solve(a, b), x)
+
+
+class TestRank:
+    def test_full_rank_identity(self):
+        assert gf_rank(gf_identity(6)) == 6
+
+    def test_rank_deficient(self):
+        a = np.array([[1, 2, 3], [2, 4, 6], [0, 0, 0]], dtype=np.uint8)
+        # Row 2 = 2 * row 1 in GF(256): 2*1=2, 2*2=4, 2*3=6.
+        assert gf_rank(a) == 1
+
+    def test_rank_of_wide_matrix(self):
+        a = np.concatenate([gf_identity(3), gf_identity(3)], axis=1)
+        assert gf_rank(a) == 3
+
+
+class TestConstructions:
+    def test_vandermonde_values(self):
+        v = vandermonde([1, 2], 3)
+        assert v[:, 0].tolist() == [1, 1, 1]
+        assert v[0, 1] == 1 and v[1, 1] == 2 and v[2, 1] == 4
+
+    def test_vandermonde_distinct_points(self):
+        with pytest.raises(ValueError):
+            vandermonde([3, 3], 2)
+
+    def test_cauchy_is_superregular(self):
+        c = cauchy_matrix(range(4), range(10, 14))
+        assert is_superregular(c)
+
+    def test_cauchy_validation(self):
+        with pytest.raises(ValueError):
+            cauchy_matrix([1, 2], [2, 3])
+        with pytest.raises(ValueError):
+            cauchy_matrix([1, 1], [2, 3])
+
+    def test_superregular_detects_singular_submatrix(self):
+        m = np.array([[1, 1], [1, 1]], dtype=np.uint8)
+        assert not is_superregular(m)
+
+    def test_superregular_rejects_zero_entry(self):
+        m = np.array([[1, 0], [1, 1]], dtype=np.uint8)
+        assert not is_superregular(m)

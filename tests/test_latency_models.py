@@ -1,0 +1,79 @@
+"""Device latency models and simulation calibration sanity."""
+
+import numpy as np
+import pytest
+
+from repro.cluster.latency import CpuModel, DiskModel, MemoryModel, NetworkModel
+from repro.sim.calibration import SimCalibration
+
+MB = 1024 * 1024
+
+
+def samples(fn, n=4000, seed=0):
+    rng = np.random.default_rng(seed)
+    return np.array([fn(rng) for _ in range(n)])
+
+
+class TestDiskModel:
+    def test_service_time_scales_with_size(self):
+        model = DiskModel()
+        small = samples(lambda r: model.service_time(r, 64 * 1024)).mean()
+        large = samples(lambda r: model.service_time(r, 8 * MB)).mean()
+        assert large > small + 0.05  # 8 MB adds ~66 ms of transfer
+
+    def test_heavy_tail_exists(self):
+        model = DiskModel()
+        arr = samples(lambda r: model.service_time(r, 1 * MB))
+        assert np.percentile(arr, 99.5) > 3 * np.percentile(arr, 50)
+
+    def test_median_positioning_time(self):
+        model = DiskModel(straggler_prob=0.0)
+        arr = samples(lambda r: model.service_time(r, 0))
+        assert np.percentile(arr, 50) == pytest.approx(model.seek_median_s, rel=0.1)
+
+
+class TestNetworkAndCpuModels:
+    def test_network_transfer_time(self):
+        model = NetworkModel()
+        arr = samples(lambda r: model.transfer_time(r, 8 * MB))
+        expected = model.rtt_s + 8 * MB / (model.bandwidth_mb_s * MB)
+        assert np.median(arr) == pytest.approx(expected, rel=0.2)
+
+    def test_cpu_encode_scales_with_width(self):
+        model = CpuModel()
+        narrow = samples(lambda r: model.encode_time(r, 6, 3, MB)).mean()
+        wide = samples(lambda r: model.encode_time(r, 12, 3, MB)).mean()
+        assert wide == pytest.approx(2 * narrow, rel=0.1)
+
+    def test_memory_absorb(self):
+        model = MemoryModel()
+        arr = samples(lambda r: model.absorb_time(r, 8 * MB))
+        assert arr.min() > 0
+
+
+class TestCalibration:
+    def test_disk_time_components(self):
+        cal = SimCalibration()
+        rng = np.random.default_rng(1)
+        arr = np.array([cal.disk_time(rng, 8 * MB) for _ in range(2000)])
+        transfer = 8 * MB / (cal.disk_bandwidth_mb_s * MB)
+        assert np.median(arr) > transfer  # seek adds on top
+
+    def test_encode_decode_asymmetry(self):
+        """Decode is far slower than encode (Java HDFS codec reality)."""
+        cal = SimCalibration()
+        assert cal.decode_time(6, 1, MB) > 5 * cal.encode_time(6, 1, MB)
+
+    def test_ec_read_overhead_exceeds_replica_read_overhead(self):
+        cal = SimCalibration()
+        rng = np.random.default_rng(2)
+        ec = np.median([cal.ec_read_overhead(rng) for _ in range(2000)])
+        rep = np.median([cal.read_overhead(rng) for _ in range(2000)])
+        assert ec > rep
+
+    def test_absorb_uses_pipeline_bandwidth(self):
+        cal = SimCalibration()
+        rng = np.random.default_rng(3)
+        arr = np.array([cal.absorb_time(rng, 120 * MB) for _ in range(500)])
+        floor = 120 * MB / (cal.pipeline_mb_s * MB)
+        assert arr.min() > floor

@@ -1,0 +1,118 @@
+"""Lifetime policies (Fig 2) and the transcode planner."""
+
+import pytest
+
+from repro.codes.costmodel import rrw_cost
+from repro.core.lifecycle import (
+    LifetimePhase,
+    LifetimePolicy,
+    LifetimeStage,
+    baseline_macrobench_policy,
+    baseline_microbench_policy,
+    morph_macrobench_policy,
+    morph_microbench_policy,
+)
+from repro.core.planner import TranscodeKind, TranscodePlanner
+from repro.core.schemes import CodeKind, ECScheme, HybridScheme, Replication
+
+
+class TestLifetimePolicy:
+    def test_scheme_at_progression(self):
+        policy = baseline_microbench_policy(t1=100, t2=200)
+        assert isinstance(policy.scheme_at(0), Replication)
+        assert policy.scheme_at(150) == ECScheme(CodeKind.RS, 6, 9)
+        assert policy.scheme_at(5000) == ECScheme(CodeKind.RS, 12, 15)
+
+    def test_stage_index(self):
+        policy = baseline_microbench_policy(t1=100, t2=200)
+        assert policy.stage_index_at(0) == 0
+        assert policy.stage_index_at(100) == 1
+        assert policy.stage_index_at(1e9) == 2
+
+    def test_transitions(self):
+        policy = morph_microbench_policy(t1=100, t2=200)
+        transitions = policy.transitions()
+        assert len(transitions) == 2
+        age, src, dst = transitions[0]
+        assert age == 100
+        assert isinstance(src, HybridScheme)
+        assert dst == src.ec  # the free transition
+
+    def test_k_star(self):
+        assert morph_macrobench_policy().k_star() == 20  # lcm(5,10,20)
+        assert morph_microbench_policy().k_star() == 12  # lcm(6,12)
+
+    def test_validation(self):
+        stage = LifetimeStage(10.0, Replication(3), LifetimePhase.HOT)
+        with pytest.raises(ValueError):
+            LifetimePolicy([stage])  # must start at age 0
+        with pytest.raises(ValueError):
+            LifetimePolicy([])
+        s0 = LifetimeStage(0.0, Replication(3), LifetimePhase.HOT)
+        s1 = LifetimeStage(5.0, ECScheme(CodeKind.RS, 6, 9), LifetimePhase.WARM)
+        with pytest.raises(ValueError):
+            LifetimePolicy([s0, stage, s1])  # out of order
+
+
+class TestPlanner:
+    def setup_method(self):
+        self.planner = TranscodePlanner()
+        self.cc69 = ECScheme(CodeKind.CC, 6, 9)
+        self.cc1215 = ECScheme(CodeKind.CC, 12, 15)
+        self.rs69 = ECScheme(CodeKind.RS, 6, 9)
+
+    def test_hybrid_to_embedded_ec_is_free(self):
+        step = self.planner.plan(HybridScheme(1, self.cc69), self.cc69)
+        assert step.kind is TranscodeKind.FREE
+        assert step.cost.disk_io == 0.0
+        assert step.is_free
+
+    def test_hybrid_to_other_ec_not_free(self):
+        step = self.planner.plan(HybridScheme(1, self.cc69), self.cc1215)
+        assert step.kind is TranscodeKind.CONVERTIBLE
+
+    def test_cc_to_cc_convertible(self):
+        step = self.planner.plan(self.cc69, self.cc1215)
+        assert step.kind is TranscodeKind.CONVERTIBLE
+        assert step.cost.disk_io < rrw_cost(6, 3, 12, 3).disk_io
+
+    def test_rs_to_rs_is_rrw(self):
+        step = self.planner.plan(self.rs69, ECScheme(CodeKind.RS, 12, 15))
+        assert step.kind is TranscodeKind.RRW
+        assert step.cost.disk_io == pytest.approx(rrw_cost(6, 3, 12, 3).disk_io)
+
+    def test_replication_source_is_rrw(self):
+        step = self.planner.plan(Replication(3), self.rs69)
+        assert step.kind is TranscodeKind.RRW
+
+    def test_cc_to_lrcc(self):
+        lrcc = ECScheme(CodeKind.LRCC, 24, 30, local_groups=4, r_global=2)
+        step = self.planner.plan(self.cc69, lrcc)
+        assert step.kind is TranscodeKind.CONVERTIBLE
+        assert step.cost.read == pytest.approx(12 / 24)
+
+    def test_lrcc_to_lrcc(self):
+        a = ECScheme(CodeKind.LRCC, 36, 41, local_groups=3, r_global=2)
+        b = ECScheme(CodeKind.LRCC, 72, 80, local_groups=6, r_global=2)
+        step = self.planner.plan(a, b)
+        assert step.kind is TranscodeKind.CONVERTIBLE
+        assert step.cost.network == 0.0
+
+    def test_unsupported_lrcc_shape_falls_back_to_rrw(self):
+        lrcc = ECScheme(CodeKind.LRCC, 25, 30, local_groups=5, r_global=0)
+        step = self.planner.plan(self.cc69, lrcc)  # 25 not a multiple of 6
+        assert step.kind is TranscodeKind.RRW
+
+    def test_macro_chain_all_convertible(self):
+        chain = [
+            ECScheme(CodeKind.CC, 5, 8),
+            ECScheme(CodeKind.CC, 10, 13),
+            ECScheme(CodeKind.CC, 20, 23),
+        ]
+        src = HybridScheme(1, chain[0])
+        step = self.planner.plan(src, chain[0])
+        assert step.is_free
+        for a, b in zip(chain, chain[1:]):
+            step = self.planner.plan(a, b)
+            assert step.kind is TranscodeKind.CONVERTIBLE
+            assert step.cost.network == 0.0  # same-r merge, co-located

@@ -1,0 +1,109 @@
+"""Plain LRC(k, l, r): layout, local repair, global decode."""
+
+import numpy as np
+import pytest
+
+from repro.codes.base import DecodeError, chunks_equal
+from repro.codes.lrc import LocalReconstructionCode
+
+
+def encode(code, seed=0, chunk_len=24):
+    rng = np.random.default_rng(seed)
+    data = [rng.integers(0, 256, chunk_len, dtype=np.uint8) for _ in range(code.k)]
+    return data, code.encode_stripe(data)
+
+
+class TestLayout:
+    def test_chunk_counts(self):
+        code = LocalReconstructionCode(12, 2, 2)
+        assert code.n == 16
+        assert code.group_size == 6
+        _, stripe = encode(code)
+        assert len(stripe.parity_chunks) == 4
+
+    def test_group_membership(self):
+        code = LocalReconstructionCode(12, 3, 2)
+        assert code.group_of(0) == 0
+        assert code.group_of(4) == 1
+        assert code.group_of(11) == 2
+        assert code.group_of(12) == 0  # first local parity
+        assert code.group_members(1) == [4, 5, 6, 7, 13]
+
+    def test_global_parity_has_no_group(self):
+        code = LocalReconstructionCode(12, 2, 2)
+        with pytest.raises(ValueError):
+            code.group_of(14)
+
+    def test_invalid_params(self):
+        with pytest.raises(ValueError):
+            LocalReconstructionCode(10, 3, 2)  # 10 % 3 != 0
+        with pytest.raises(ValueError):
+            LocalReconstructionCode(12, 2, -1)
+
+
+class TestLocalRepair:
+    def test_data_chunk_repair_reads_only_group(self):
+        code = LocalReconstructionCode(12, 2, 2)
+        data, stripe = encode(code, seed=1)
+        # Provide only the group of chunk 3 (group 0) and nothing else.
+        group = {i: stripe.chunks[i] for i in code.group_members(0) if i != 3}
+        repaired = code.local_repair(3, group)
+        assert np.array_equal(repaired, stripe.chunks[3])
+
+    def test_local_parity_repair(self):
+        code = LocalReconstructionCode(12, 2, 2)
+        data, stripe = encode(code, seed=2)
+        avail = {i: stripe.chunks[i] for i in range(16) if i != 12}
+        repaired = code.local_repair(12, avail)
+        assert np.array_equal(repaired, stripe.chunks[12])
+
+    def test_local_repair_needs_full_group(self):
+        code = LocalReconstructionCode(12, 2, 2)
+        data, stripe = encode(code, seed=3)
+        avail = {i: stripe.chunks[i] for i in range(16) if i not in (3, 4)}
+        with pytest.raises(DecodeError):
+            code.local_repair(3, avail)
+
+
+class TestDecode:
+    def test_one_failure_per_group_plus_globals(self):
+        code = LocalReconstructionCode(12, 2, 2)
+        data, stripe = encode(code, seed=4)
+        rec = code.decode_stripe(stripe.erase(0, 7))
+        assert chunks_equal(rec.chunks, stripe.chunks)
+
+    def test_multi_failure_uses_globals(self):
+        code = LocalReconstructionCode(12, 2, 2)
+        data, stripe = encode(code, seed=5)
+        # Two failures in one group: local repair impossible, globals needed.
+        rec = code.decode_stripe(stripe.erase(0, 1))
+        assert chunks_equal(rec.chunks, stripe.chunks)
+
+    def test_four_failures_recoverable_pattern(self):
+        code = LocalReconstructionCode(12, 2, 2)
+        data, stripe = encode(code, seed=6)
+        # One per group + both globals: information-theoretically fine.
+        rec = code.decode_stripe(stripe.erase(0, 7, 14, 15))
+        assert chunks_equal(rec.chunks, stripe.chunks)
+
+    def test_unrecoverable_pattern_raises(self):
+        code = LocalReconstructionCode(12, 2, 2)
+        data, stripe = encode(code, seed=7)
+        # 4 failures inside one group exceed local(1) + global(2) capacity.
+        with pytest.raises(DecodeError):
+            code.decode_stripe(stripe.erase(0, 1, 2, 3))
+
+    def test_zero_global_parities(self):
+        code = LocalReconstructionCode(8, 2, 0)
+        data, stripe = encode(code, seed=8)
+        rec = code.decode_stripe(stripe.erase(2))
+        assert chunks_equal(rec.chunks, stripe.chunks)
+
+    def test_fault_tolerance_reporting(self):
+        # Guaranteed arbitrary-failure tolerance of LRC is r_global + 1.
+        code = LocalReconstructionCode(12, 2, 2)
+        data, stripe = encode(code, seed=9)
+        # Any 3 = r_global + 1 failures must decode; sample several.
+        for pattern in [(0, 1, 2), (5, 13, 15), (0, 6, 12), (10, 11, 14)]:
+            rec = code.decode_stripe(stripe.erase(*pattern))
+            assert chunks_equal(rec.chunks, stripe.chunks), pattern

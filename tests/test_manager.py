@@ -1,0 +1,103 @@
+"""Age-driven lifetime management."""
+
+import numpy as np
+import pytest
+
+from repro.core.lifecycle import morph_macrobench_policy, morph_microbench_policy
+from repro.core.manager import LifetimeManager
+from repro.core.schemes import CodeKind, ECScheme, HybridScheme
+from repro.dfs import MorphFS
+
+KB = 1024
+
+
+def managed_fs(policy, n_kb=96, seed=1):
+    widths = policy.ec_widths()
+    fs = MorphFS(chunk_size=4 * KB, future_widths=widths)
+    manager = LifetimeManager(fs)
+    data = np.random.default_rng(seed).integers(0, 256, n_kb * KB, dtype=np.uint8)
+    fs.write_file("f", data, policy.stages[0].scheme)
+    manager.register("f", policy)
+    return fs, manager, data
+
+
+class TestLifetimeManager:
+    def test_no_transitions_before_first_boundary(self):
+        policy = morph_microbench_policy(t1=100, t2=200)
+        fs, manager, data = managed_fs(policy)
+        fs.clock = 50
+        report = manager.tick()
+        assert report.transitions == []
+        assert manager.stage_of("f") == 0
+
+    def test_transitions_follow_schedule(self):
+        policy = morph_microbench_policy(t1=100, t2=200)
+        fs, manager, data = managed_fs(policy)
+        fs.clock = 150
+        report = manager.tick()
+        assert len(report.transitions) == 1
+        assert fs.namenode.lookup("f").scheme == ECScheme(CodeKind.CC, 6, 9)
+        fs.clock = 250
+        manager.tick()
+        assert fs.namenode.lookup("f").scheme == ECScheme(CodeKind.CC, 12, 15)
+        assert np.array_equal(fs.read_file("f"), data)
+
+    def test_catchup_is_one_stage_per_tick(self):
+        """A file far behind schedule advances sequentially, not at once."""
+        policy = morph_microbench_policy(t1=100, t2=200)
+        fs, manager, data = managed_fs(policy)
+        fs.clock = 10_000  # way past both boundaries
+        manager.tick()
+        assert manager.stage_of("f") == 1
+        manager.tick()
+        assert manager.stage_of("f") == 2
+        assert np.array_equal(fs.read_file("f"), data)
+
+    def test_run_until_drives_full_chain(self):
+        policy = morph_macrobench_policy()
+        fs, manager, data = managed_fs(policy, n_kb=160)
+        manager.run_until(end_clock=1000, tick_interval=30)
+        meta = fs.namenode.lookup("f")
+        assert meta.scheme == ECScheme(CodeKind.CC, 20, 23)
+        assert np.array_equal(fs.read_file("f"), data)
+
+    def test_many_files_staggered(self):
+        policy = morph_microbench_policy(t1=100, t2=200)
+        widths = policy.ec_widths()
+        fs = MorphFS(chunk_size=4 * KB, future_widths=widths)
+        manager = LifetimeManager(fs)
+        rng = np.random.default_rng(5)
+        datasets = {}
+        for i in range(4):
+            name = f"f{i}"
+            fs.clock = i * 60.0
+            data = rng.integers(0, 256, 48 * KB, dtype=np.uint8)
+            fs.write_file(name, data, policy.stages[0].scheme)
+            manager.register(name, policy)
+            datasets[name] = data
+        fs.clock = 310.0
+        manager.tick()  # files advance according to their own ages
+        stages = [manager.stage_of(f"f{i}") for i in range(4)]
+        assert stages == sorted(stages, reverse=True)
+        for name, data in datasets.items():
+            assert np.array_equal(fs.read_file(name), data)
+
+    def test_register_requires_existing_file(self):
+        fs = MorphFS(chunk_size=4 * KB, future_widths=[6])
+        manager = LifetimeManager(fs)
+        with pytest.raises(KeyError):
+            manager.register("ghost", morph_microbench_policy())
+
+    def test_double_register_rejected(self):
+        policy = morph_microbench_policy()
+        fs, manager, data = managed_fs(policy)
+        with pytest.raises(ValueError):
+            manager.register("f", policy)
+
+    def test_unregister_stops_management(self):
+        policy = morph_microbench_policy(t1=100, t2=200)
+        fs, manager, data = managed_fs(policy)
+        manager.unregister("f")
+        fs.clock = 500
+        report = manager.tick()
+        assert report.transitions == []

@@ -1,0 +1,115 @@
+"""IO metrics accounting and cluster topology/failure plumbing."""
+
+import numpy as np
+import pytest
+
+from repro.cluster.failure import FailureInjector
+from repro.cluster.metrics import IOMetrics, NodeMetrics
+from repro.cluster.topology import Cluster, ClusterSpec
+
+
+class TestNodeMetrics:
+    def test_totals(self):
+        m = NodeMetrics()
+        m.disk_bytes_read = 10
+        m.disk_bytes_written = 5
+        m.net_bytes_in = 3
+        m.net_bytes_out = 4
+        assert m.disk_bytes_total == 15
+        assert m.net_bytes_total == 7
+
+    def test_memory_watermark(self):
+        m = NodeMetrics()
+        m.use_memory(100)
+        m.use_memory(50)
+        m.free_memory(120)
+        m.use_memory(10)
+        assert m.memory_peak_bytes == 150
+        assert m.memory_in_use_bytes == 40
+
+    def test_free_never_negative(self):
+        m = NodeMetrics()
+        m.free_memory(10)
+        assert m.memory_in_use_bytes == 0
+
+
+class TestIOMetrics:
+    def test_transfer_counts_once(self):
+        metrics = IOMetrics()
+        metrics.record_transfer("a", "b", 100)
+        assert metrics.net_bytes_total == 100
+        assert metrics.node("a").net_bytes_out == 100
+        assert metrics.node("b").net_bytes_in == 100
+
+    def test_local_transfer_is_free(self):
+        metrics = IOMetrics()
+        metrics.record_transfer("a", "a", 100)
+        assert metrics.net_bytes_total == 0
+
+    def test_aggregates(self):
+        metrics = IOMetrics()
+        metrics.record_disk_read("a", 10)
+        metrics.record_disk_write("b", 20)
+        metrics.record_cpu("a", 1.5)
+        assert metrics.disk_bytes_total == 30
+        assert metrics.cpu_seconds_total == 1.5
+        summary = metrics.summary()
+        assert summary["disk_read"] == 10
+        assert summary["disk_write"] == 20
+
+    def test_timeline_records(self):
+        metrics = IOMetrics()
+        metrics.record_disk_write("a", 10, at=1.0, tag="ingest")
+        metrics.record_disk_read("a", 5, at=2.0)
+        assert metrics.timeline == [(1.0, 10, "ingest"), (2.0, 5, "disk_read")]
+
+
+class TestCluster:
+    def test_default_size_matches_paper_testbed(self):
+        cluster = Cluster()
+        assert len(cluster) == 23  # paper: 23 Datanodes
+
+    def test_racks_assigned(self):
+        cluster = Cluster(ClusterSpec(n_datanodes=8, n_racks=4))
+        racks = {n.rack for n in cluster.nodes}
+        assert racks == {0, 1, 2, 3}
+
+    def test_fail_and_recover(self):
+        cluster = Cluster()
+        cluster.fail_node("dn000")
+        assert len(cluster.alive_nodes()) == 22
+        cluster.recover_node("dn000")
+        assert len(cluster.alive_nodes()) == 23
+
+    def test_fail_fraction(self):
+        cluster = Cluster()
+        rng = np.random.default_rng(0)
+        failed = cluster.fail_fraction(0.10, rng)
+        assert len(failed) == 2  # round(0.1 * 23)
+        assert len(cluster.alive_nodes()) == 21
+
+
+class TestFailureInjector:
+    def test_deterministic(self):
+        a = FailureInjector(Cluster(), seed=1)
+        b = FailureInjector(Cluster(), seed=1)
+        assert a.fail_random_nodes(3) == b.fail_random_nodes(3)
+
+    def test_recover_all(self):
+        inj = FailureInjector(Cluster(), seed=2)
+        inj.fail_fraction(0.2)
+        assert len(inj.cluster.alive_nodes()) < 23
+        inj.recover_all()
+        assert len(inj.cluster.alive_nodes()) == 23
+        assert not inj.failed_nodes
+
+    def test_availability_query(self):
+        inj = FailureInjector(Cluster(), seed=3)
+        victims = inj.fail_random_nodes(1)
+        assert not inj.is_available(victims[0])
+        assert inj.is_available("dn999-nonexistent")
+
+    def test_cannot_fail_more_than_alive(self):
+        inj = FailureInjector(Cluster(ClusterSpec(n_datanodes=3)), seed=4)
+        with pytest.raises(ValueError):
+            inj.fail_random_nodes(5)

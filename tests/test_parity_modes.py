@@ -1,0 +1,143 @@
+"""§6.1 parity options and the §4.2 spanning-write protocol, functional."""
+
+import numpy as np
+import pytest
+
+from repro.core.schemes import CodeKind, ECScheme, HybridScheme
+from repro.dfs import MorphFS
+
+KB = 1024
+CC69 = ECScheme(CodeKind.CC, 6, 9)
+
+
+def make_fs(**kwargs):
+    return MorphFS(chunk_size=4 * KB, future_widths=[6, 12], **kwargs)
+
+
+def write(fs, n_kb=48, seed=1):
+    data = np.random.default_rng(seed).integers(0, 256, n_kb * KB, dtype=np.uint8)
+    fs.write_file("f", data, HybridScheme(1, CC69))
+    return data
+
+
+class TestAsyncDefault:
+    def test_striper_pays_encode(self):
+        fs = make_fs()
+        write(fs)
+        assert fs.metrics.node("client").cpu_seconds == 0
+        assert fs.metrics.cpu_seconds_total > 0
+
+
+class TestSyncMode:
+    def test_client_pays_encode_and_parity_network(self):
+        fs = make_fs(parity_mode="sync")
+        data = write(fs)
+        assert fs.metrics.node("client").cpu_seconds > 0
+        # Parities travel from the client: client net_out includes them
+        # in addition to the initial block send.
+        client_out = fs.metrics.node("client").net_bytes_out
+        assert client_out == pytest.approx(len(data) + 0.5 * len(data))
+
+    def test_same_resting_state_as_async(self):
+        sync = make_fs(parity_mode="sync")
+        asyn = make_fs(parity_mode="async")
+        d1 = write(sync)
+        d2 = write(asyn)
+        assert sync.capacity_used() == asyn.capacity_used()
+        assert np.array_equal(sync.read_file("f"), d1)
+
+
+class TestNoneMode:
+    def test_no_parities_extra_replica(self):
+        fs = make_fs(parity_mode="none")
+        data = write(fs)
+        meta = fs.namenode.lookup("f")
+        for stripe in meta.stripes:
+            assert stripe.parities == []
+        for block in meta.replica_blocks:
+            assert len(block.copies) == 2  # c + 1
+        # Footprint: 2 replicas + data chunks = 3.0x (same as c+1 rep + stripe).
+        assert fs.capacity_used() == pytest.approx(3.0 * len(data))
+
+    def test_reads_and_failures(self):
+        fs = make_fs(parity_mode="none")
+        data = write(fs)
+        meta = fs.namenode.lookup("f")
+        victim = meta.stripes[0].data[0].node_id
+        fs.cluster.fail_node(victim)
+        fs.datanodes[victim].fail()
+        assert np.array_equal(fs.read_file("f"), data)
+
+    def test_no_encode_cpu_anywhere(self):
+        fs = make_fs(parity_mode="none")
+        write(fs)
+        assert fs.metrics.cpu_seconds_total == 0
+
+    def test_invalid_mode_rejected(self):
+        with pytest.raises(ValueError):
+            make_fs(parity_mode="lazy")
+
+
+class TestSpanningProtocol:
+    def test_extra_network_copy(self):
+        small = make_fs(spanning_protocol=False)
+        spanning = make_fs(spanning_protocol=True)
+        d1 = write(small)
+        write(spanning)
+        # Spanning mirrors 3 full copies before striping: one extra block
+        # transfer per stripe versus the 2-mirror small-write variant.
+        assert spanning.metrics.net_bytes_total == pytest.approx(
+            small.metrics.net_bytes_total + len(d1)
+        )
+
+    def test_same_resting_state(self):
+        small = make_fs(spanning_protocol=False)
+        spanning = make_fs(spanning_protocol=True)
+        d = write(small)
+        write(spanning)
+        assert small.capacity_used() == spanning.capacity_used()
+        assert np.array_equal(spanning.read_file("f"), d)
+
+    def test_temporaries_never_hit_disk(self):
+        fs = make_fs(spanning_protocol=True)
+        data = write(fs)
+        assert fs.metrics.disk_bytes_written == pytest.approx(2.5 * len(data))
+        assert fs.memory_used() == 0
+
+
+class TestNoneModeTransition:
+    def test_free_transition_seals_stripes_first(self):
+        """Dropping replicas must not strand parity-less stripes (§4.5
+        is only free when the EC side already exists)."""
+        fs = make_fs(parity_mode="none")
+        data = write(fs)
+        fs.transcode("f", CC69)
+        meta = fs.namenode.lookup("f")
+        assert meta.replica_blocks == []
+        for stripe in meta.stripes:
+            assert len(stripe.parities) == 3
+        # Full EC protection: any 3 chunk losses of a stripe are fine.
+        for chunk in meta.stripes[0].all_chunks()[:3]:
+            fs.cluster.fail_node(chunk.node_id)
+            fs.datanodes[chunk.node_id].fail()
+        assert np.array_equal(fs.read_file("f"), data)
+
+    def test_sealing_costs_parity_writes_only_once(self):
+        fs = make_fs(parity_mode="none")
+        data = write(fs)
+        w0 = fs.metrics.disk_bytes_written
+        fs.transcode("f", CC69)
+        # 2 stripes x 3 parities of 4 KB each.
+        assert fs.metrics.disk_bytes_written - w0 == pytest.approx(6 * 4 * KB)
+
+    def test_open_append_tail_also_sealed(self):
+        fs = make_fs()
+        data = write(fs, n_kb=24)
+        extra = np.random.default_rng(8).integers(0, 256, 10 * KB, dtype=np.uint8)
+        fs.append_file("f", extra)
+        # Transcode without an explicit close: the open tail gets sealed.
+        fs.transcode("f", CC69)
+        meta = fs.namenode.lookup("f")
+        for stripe in meta.stripes:
+            assert len(stripe.parities) == 3
+        assert np.array_equal(fs.read_file("f"), np.concatenate([data, extra]))

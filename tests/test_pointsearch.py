@@ -1,0 +1,93 @@
+"""Evaluation-point search and superregularity verification."""
+
+import numpy as np
+import pytest
+
+from repro.codes.pointsearch import (
+    batch_det,
+    find_family_points,
+    is_superregular_parity,
+    vandermonde_parity,
+)
+from repro.gf.matrix import gf_rank
+
+
+class TestBatchDet:
+    def test_matches_rank_for_2x2(self):
+        rng = np.random.default_rng(0)
+        mats = rng.integers(0, 256, (200, 2, 2), dtype=np.uint8)
+        dets = batch_det(mats)
+        for i in range(200):
+            singular = gf_rank(mats[i]) < 2
+            assert (dets[i] == 0) == singular
+
+    def test_matches_rank_for_3x3_and_4x4(self):
+        rng = np.random.default_rng(1)
+        for s in (3, 4):
+            mats = rng.integers(0, 256, (100, s, s), dtype=np.uint8)
+            dets = batch_det(mats)
+            for i in range(100):
+                assert (dets[i] == 0) == (gf_rank(mats[i]) < s)
+
+    def test_identity_det_one(self):
+        eye = np.stack([np.eye(3, dtype=np.uint8)] * 4)
+        assert batch_det(eye).tolist() == [1, 1, 1, 1]
+
+    def test_non_square_raises(self):
+        with pytest.raises(ValueError):
+            batch_det(np.zeros((2, 2, 3), np.uint8))
+
+
+class TestSuperregularity:
+    def test_known_bad_matrix(self):
+        # Point 1 repeated: columns identical -> 2x2 dets vanish.
+        parity = vandermonde_parity([1, 1], 4)
+        assert not is_superregular_parity(parity)
+
+    def test_family_points_are_verified(self):
+        for r in (1, 2, 3):
+            points = find_family_points(r, 24)
+            parity = vandermonde_parity(points, 24)
+            assert is_superregular_parity(parity)
+
+    def test_r4_points(self):
+        points = find_family_points(4, 24)
+        assert len(set(points)) == 4
+        assert is_superregular_parity(vandermonde_parity(points, 24))
+
+    def test_r5_points(self):
+        points = find_family_points(5, 12)
+        assert len(set(points)) == 5
+
+    def test_width_beyond_feasible_raises(self):
+        from repro.codes.pointsearch import FamilyWidthError
+
+        with pytest.raises(FamilyWidthError):
+            find_family_points(5, 37)
+        with pytest.raises(FamilyWidthError):
+            find_family_points(6, 8)
+
+    def test_cache_returns_wider_family(self):
+        wide = find_family_points(3, 40)
+        narrow = find_family_points(3, 12)
+        assert narrow == wide  # cached wide family satisfies narrow request
+
+    def test_r1_any_width(self):
+        points = find_family_points(1, 255)
+        assert len(points) == 1 and points[0] != 0
+
+    def test_invalid_args(self):
+        with pytest.raises(ValueError):
+            find_family_points(0, 10)
+        with pytest.raises(ValueError):
+            find_family_points(2, 0)
+
+
+class TestVandermondeParity:
+    def test_first_row_all_ones(self):
+        parity = vandermonde_parity([1, 2, 4], 5)
+        assert parity[0].tolist() == [1, 1, 1]
+
+    def test_column_is_powers(self):
+        parity = vandermonde_parity([2], 4)
+        assert parity[:, 0].tolist() == [1, 2, 4, 8]

@@ -1,0 +1,123 @@
+"""Redundancy scheme descriptors, Appendix-B probability, k*."""
+
+import numpy as np
+import pytest
+
+from repro.core.schemes import (
+    CodeKind,
+    ECScheme,
+    HybridScheme,
+    Replication,
+    degraded_read_probability,
+    lcm_of_widths,
+)
+
+
+class TestReplication:
+    def test_overhead_and_tolerance(self):
+        r = Replication(3)
+        assert r.storage_overhead == 3.0
+        assert r.fault_tolerance == 2
+        assert r.chunk_count == 3
+        assert str(r) == "3-r"
+
+    def test_invalid(self):
+        with pytest.raises(ValueError):
+            Replication(0)
+
+
+class TestECScheme:
+    def test_rs(self):
+        ec = ECScheme(CodeKind.RS, 6, 9)
+        assert ec.r == 3
+        assert ec.storage_overhead == pytest.approx(1.5)
+        assert ec.fault_tolerance == 3
+        assert str(ec) == "RS(6,9)"
+
+    def test_lrc_layout_validation(self):
+        with pytest.raises(ValueError):
+            ECScheme(CodeKind.LRC, 12, 16, local_groups=2, r_global=1)  # 12+2+1 != 16
+        with pytest.raises(ValueError):
+            ECScheme(CodeKind.LRC, 12, 16)  # missing group structure
+
+    def test_lrc_fault_tolerance_is_guaranteed_level(self):
+        ec = ECScheme(CodeKind.LRC, 12, 16, local_groups=2, r_global=2)
+        assert ec.fault_tolerance == 3  # r_global + 1
+
+    def test_make_code_kinds(self):
+        from repro.codes import (
+            ConvertibleCode,
+            LocalReconstructionCode,
+            LocallyRecoverableConvertibleCode,
+            ReedSolomon,
+        )
+
+        assert isinstance(ECScheme(CodeKind.RS, 6, 9).make_code(), ReedSolomon)
+        assert isinstance(ECScheme(CodeKind.CC, 6, 9).make_code(), ConvertibleCode)
+        assert isinstance(
+            ECScheme(CodeKind.LRC, 12, 16, local_groups=2, r_global=2).make_code(),
+            LocalReconstructionCode,
+        )
+        assert isinstance(
+            ECScheme(CodeKind.LRCC, 12, 16, local_groups=2, r_global=2).make_code(),
+            LocallyRecoverableConvertibleCode,
+        )
+
+    def test_convertible_flag(self):
+        assert ECScheme(CodeKind.CC, 6, 9).kind.convertible
+        assert not ECScheme(CodeKind.RS, 6, 9).kind.convertible
+
+
+class TestHybrid:
+    def test_overheads(self):
+        hy = HybridScheme(1, ECScheme(CodeKind.CC, 6, 9))
+        assert hy.storage_overhead == pytest.approx(2.5)
+        assert hy.ingest_disk_multiplier == pytest.approx(2.5)
+        assert str(hy) == "Hy(1,CC(6,9))"
+
+    def test_fault_tolerance_c_plus_r(self):
+        hy = HybridScheme(2, ECScheme(CodeKind.CC, 6, 9))
+        assert hy.fault_tolerance == 5  # 2 replicas + 3 parities (§4.4)
+
+    def test_cheaper_than_3r(self):
+        for k, n in [(5, 6), (6, 9), (12, 15)]:
+            hy = HybridScheme(1, ECScheme(CodeKind.CC, k, n))
+            assert hy.storage_overhead < 3.0
+
+    def test_invalid_copies(self):
+        with pytest.raises(ValueError):
+            HybridScheme(0, ECScheme(CodeKind.CC, 6, 9))
+
+
+class TestDegradedReadProbability:
+    def test_paper_anchor(self):
+        # Appendix B: Hy(1, CC(6,9)) at f=0.01 -> ~0.00009.
+        p = degraded_read_probability(0.01, 6, 9, copies=1)
+        assert p == pytest.approx(9e-5, rel=0.1)
+
+    def test_monotone_in_f(self):
+        ps = [degraded_read_probability(f, 6, 9) for f in (0.001, 0.01, 0.05)]
+        assert ps[0] < ps[1] < ps[2]
+
+    def test_more_copies_much_rarer(self):
+        p1 = degraded_read_probability(0.01, 6, 9, copies=1)
+        p2 = degraded_read_probability(0.01, 6, 9, copies=2)
+        assert p2 < p1 / 50
+
+    def test_monte_carlo_agreement(self):
+        from repro.bench.experiments import appendix_b
+
+        result = appendix_b(trials=300_000)
+        assert result["monte_carlo"] == pytest.approx(result["analytic"], rel=0.5)
+
+    def test_invalid_probability(self):
+        with pytest.raises(ValueError):
+            degraded_read_probability(1.5, 6, 9)
+
+
+class TestKStar:
+    def test_lcm(self):
+        assert lcm_of_widths(6, 12) == 12
+        assert lcm_of_widths(5, 10, 20) == 20
+        assert lcm_of_widths(6, 15) == 30
+        assert lcm_of_widths() == 1
