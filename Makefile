@@ -1,6 +1,7 @@
 # Convenience targets for the Morph reproduction.
 
 PYTHON ?= python
+export PYTHONPATH := src
 
 .PHONY: install test bench figures examples all clean
 

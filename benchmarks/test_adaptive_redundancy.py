@@ -5,7 +5,6 @@ the IO spikes of disk-adaptive systems (HeART / Pacemaker / Tiger). This
 bench quantifies that composition over a 6-year disk-cohort lifetime.
 """
 
-import numpy as np
 
 from repro.bench.ascii_plots import series_plot
 from repro.bench.reporting import print_table

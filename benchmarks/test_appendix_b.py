@@ -12,7 +12,7 @@ from repro.core.schemes import degraded_read_probability
 
 def test_appendix_b(once):
     result = once(E.appendix_b)
-    print(f"\nAppendix B: P(degraded read | f=0.01, Hy(1,CC(6,9)))")
+    print("\nAppendix B: P(degraded read | f=0.01, Hy(1,CC(6,9)))")
     print(f"  analytic:    {result['analytic']:.2e} (paper: 9e-5)")
     print(f"  monte carlo: {result['monte_carlo']:.2e} ({result['trials']} trials)")
 

@@ -8,7 +8,6 @@ cites (EC(17,20) -> EC(34,37), >80% bandwidth saving).
 """
 
 import numpy as np
-import pytest
 
 from repro.bench.reporting import print_table
 from repro.sim import protocols as P

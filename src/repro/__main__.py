@@ -164,7 +164,15 @@ def _appendix_b() -> None:
           f"monte-carlo {r['monte_carlo']:.2e} (paper: ~9e-5)")
 
 
+def _maintenance() -> None:
+    from repro.sched.simulate import SimConfig, compare_budgets, format_report
+
+    cfg = SimConfig()
+    print(format_report(compare_budgets(cfg), cfg))
+
+
 COMMANDS: Dict[str, Callable[[], None]] = {
+    "maintenance": _maintenance,
     "fig01": _fig01,
     "fig03": _fig03,
     "fig04": _fig04,

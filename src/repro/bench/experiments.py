@@ -12,7 +12,6 @@ from typing import Dict, List, Optional, Sequence
 import numpy as np
 
 from repro.codes.costmodel import (
-    Strategy,
     convertible_cost,
     native_rs_cost,
     rrw_cost,
@@ -242,9 +241,11 @@ def fig15_transcode(n_files: int = 20, file_mb: int = 96, seed: int = 42) -> Dic
         for codec in ("rs", "cc"):
             read_sim = SimCluster(seed=seed)
             if codec == "rs":
-                op = lambda s: P.transcode_read_rs(s, size, scen["rs"]["k_final"], 6)
+                def op(s):
+                    return P.transcode_read_rs(s, size, scen["rs"]["k_final"], 6)
             else:
-                op = lambda s: P.transcode_read_cc(s, size, **scen["cc"])
+                def op(s):
+                    return P.transcode_read_cc(s, size, **scen["cc"])
             wl = ClosedLoopWorkload(read_sim, op, n_threads=n_files, ops_per_thread=5, op_bytes=size)
             read_res = wl.run()
             comp_sim = SimCluster(seed=seed + 1)

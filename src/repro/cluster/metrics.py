@@ -41,12 +41,28 @@ class NodeMetrics:
 
 
 @dataclass
+class MaintenanceClassMetrics:
+    """Background-maintenance counters for one task class (repair, scrub, ...)."""
+
+    disk_bytes: float = 0.0
+    net_bytes: float = 0.0
+    cpu_seconds: float = 0.0
+    tasks_completed: int = 0
+    tasks_failed: int = 0
+    tasks_dead_lettered: int = 0
+
+
+@dataclass
 class IOMetrics:
     """Cluster-wide counters plus a per-node breakdown and a time series."""
 
     nodes: Dict[str, NodeMetrics] = field(default_factory=lambda: defaultdict(NodeMetrics))
     #: (time, disk_bytes_delta) samples for throughput-over-time plots
     timeline: List[Tuple[float, float, str]] = field(default_factory=list)
+    #: per-task-class maintenance accounting, recorded by the scheduler
+    maintenance: Dict[str, MaintenanceClassMetrics] = field(
+        default_factory=lambda: defaultdict(MaintenanceClassMetrics)
+    )
 
     def node(self, node_id: str) -> NodeMetrics:
         return self.nodes[node_id]
@@ -67,6 +83,29 @@ class IOMetrics:
 
     def record_cpu(self, node_id: str, seconds: float) -> None:
         self.nodes[node_id].cpu_seconds += seconds
+
+    def record_maintenance(
+        self,
+        task_class: str,
+        disk_bytes: float = 0.0,
+        net_bytes: float = 0.0,
+        cpu_seconds: float = 0.0,
+        completed: int = 0,
+        failed: int = 0,
+        dead_lettered: int = 0,
+    ) -> None:
+        """Attribute background work to a maintenance task class.
+
+        The byte counters here are a *view over* the per-node counters
+        (the same IO is also in ``nodes``), split by who caused it.
+        """
+        m = self.maintenance[task_class]
+        m.disk_bytes += disk_bytes
+        m.net_bytes += net_bytes
+        m.cpu_seconds += cpu_seconds
+        m.tasks_completed += completed
+        m.tasks_failed += failed
+        m.tasks_dead_lettered += dead_lettered
 
     # -- aggregates --------------------------------------------------------
     @property
@@ -101,4 +140,18 @@ class IOMetrics:
             "disk_total": self.disk_bytes_total,
             "network": self.net_bytes_total,
             "cpu_seconds": self.cpu_seconds_total,
+        }
+
+    def maintenance_summary(self) -> Dict[str, Dict[str, float]]:
+        """Per-task-class maintenance totals, for benchmarks and reports."""
+        return {
+            klass: {
+                "disk_bytes": m.disk_bytes,
+                "net_bytes": m.net_bytes,
+                "cpu_seconds": m.cpu_seconds,
+                "completed": m.tasks_completed,
+                "failed": m.tasks_failed,
+                "dead_lettered": m.tasks_dead_lettered,
+            }
+            for klass, m in sorted(self.maintenance.items())
         }

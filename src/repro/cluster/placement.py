@@ -21,7 +21,7 @@ from typing import Dict, List, Optional, Sequence
 
 import numpy as np
 
-from repro.cluster.topology import Cluster, Node
+from repro.cluster.topology import Cluster
 
 
 class PlacementError(Exception):

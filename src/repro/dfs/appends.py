@@ -52,19 +52,23 @@ class AppendSupport:
             return meta  # nothing open
         ec = meta.scheme.ec
         stripe = meta.stripes[-1]
-        striper = meta.replica_blocks[-1].copies[-1].node_id
-        chunks = [
-            self.datanodes[c.node_id].read(c.chunk_id, at=self.clock)
-            for c in stripe.data
-        ]
+        striper = self._pick_striper(
+            [c.node_id for c in reversed(meta.replica_blocks[-1].copies)]
+        )
+        chunks = self._read_stripe_data_degraded(meta, stripe, striper)
         code = self.cc_codec(stripe.k, stripe.k + ec.r)
         parities = code.encode(chunks)
         self.charge_node_encode(striper, stripe.k, ec.r, self.chunk_size)
         placement = self._placement_for(meta.name, ec)
         first_chunk = sum(s.k for s in meta.stripes[:-1])
-        parity_nodes = [
-            placement.parity_node(meta.name, first_chunk, j) for j in range(ec.r)
-        ]
+        occupied = [c.node_id for c in stripe.all_chunks()]
+        parity_nodes = []
+        for j in range(ec.r):
+            node = self._alive_or_substitute(
+                placement.parity_node(meta.name, first_chunk, j), occupied
+            )
+            occupied.append(node)
+            parity_nodes.append(node)
         kinds = [ChunkKind.PARITY] * ec.r
         for j, parity in enumerate(parities):
             chunk_id = self.namenode.next_chunk_id(

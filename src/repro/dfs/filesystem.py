@@ -44,6 +44,7 @@ from repro.dfs.appends import AppendSupport
 from repro.dfs.client import ClientReader
 from repro.dfs.namenode import ConversionGroup, Namenode
 from repro.dfs.transcoder import NativeTranscoder, RRWTranscoder, TranscodeError
+from repro.sched.scheduler import MaintenanceScheduler
 
 MB = 1024 * 1024
 CLIENT = "client"
@@ -77,6 +78,9 @@ class _BaseDFS:
         self.checksums = ChecksumRegistry()
         self.planner = TranscodePlanner()
         self.reader = ClientReader(self)
+        #: unified background-maintenance control plane: repairs,
+        #: transcode work and scrubs all flow through here
+        self.scheduler = MaintenanceScheduler(self)
         self.clock = 0.0
         self.seed = seed
         self._cc_cache: Dict[Tuple[int, int], ConvertibleCode] = {}
@@ -518,6 +522,49 @@ class MorphFS(AppendSupport, _BaseDFS):
         """Drive a previously enqueued transcode to completion."""
         self.transcoder.run_pending(name)
 
+    def schedule_transcode(
+        self,
+        name: str,
+        target: RedundancyScheme,
+        deadline: Optional[float] = None,
+    ) -> FileMeta:
+        """Deferred transcode: queue the work for the maintenance
+        scheduler instead of executing inline.
+
+        Free (hybrid -> EC) transitions become a single metadata-only
+        task when every stripe already has its parities — the scheduler
+        runs those regardless of budget pressure. Convertible
+        conversions go through the ATQ; the heartbeat loop feeds the
+        queued groups into the scheduler tick by tick, where ``deadline``
+        boosts them as the lifetime policy's transition date nears.
+        """
+        from repro.sched.tasks import FreeTransitionTask
+
+        meta = self.namenode.lookup(name)
+        step = self.planner.plan(meta.scheme, target)
+        if step.kind is TranscodeKind.FREE:
+            ec = target.ec if isinstance(target, HybridScheme) else target
+            sealed = not isinstance(ec, ECScheme) or all(
+                len(s.parities) >= ec.r for s in meta.stripes
+            )
+            self.scheduler.submit(
+                FreeTransitionTask(
+                    name, target, metadata_only=sealed, deadline=deadline
+                )
+            )
+            return meta
+        if step.kind is TranscodeKind.CONVERTIBLE:
+            if isinstance(meta.scheme, HybridScheme):
+                # Replica drop first (free); the EC part converts queued.
+                self._free_transition(meta, meta.scheme.ec)
+            groups, parities = self._build_groups(meta, target)
+            self.namenode.enqueue_transcode(
+                name, target, groups, parities, deadline=deadline
+            )
+            return meta
+        # RRW fallback has no incremental work units; run it inline.
+        return RRWTranscoder(self).transcode(name, target)
+
     def _free_transition(self, meta: FileMeta, target: RedundancyScheme) -> FileMeta:
         """Hybrid -> EC: delete replicas, flip metadata. Zero IO (§4.5).
 
@@ -540,31 +587,87 @@ class MorphFS(AppendSupport, _BaseDFS):
         meta.version += 1
         return meta
 
+    def _pick_striper(self, candidates: Sequence[str]) -> str:
+        """First live candidate node, else any live node in the cluster."""
+        for node_id in candidates:
+            if self.datanodes[node_id].is_alive:
+                return node_id
+        alive = self.cluster.alive_nodes()
+        if not alive:
+            from repro.dfs.recovery import RecoveryError
+
+            raise RecoveryError("no live node to act as striper")
+        return alive[0].node_id
+
+    def _alive_or_substitute(self, node_id: str, exclude: Sequence[str]) -> str:
+        """The node itself if alive, else a live node outside ``exclude``."""
+        if self.datanodes[node_id].is_alive:
+            return node_id
+        taken = set(exclude)
+        for node in self.cluster.alive_nodes():
+            if node.node_id not in taken:
+                return node.node_id
+        return self._pick_striper([])
+
+    def _read_stripe_data_degraded(
+        self, meta: FileMeta, stripe: ECStripeMeta, reader_node: str
+    ) -> List[np.ndarray]:
+        """Read a stripe's data chunks, falling back to the covering
+        replica ranges when a chunk's home is down.
+
+        Sealing a parity-less stripe must work during failures — the
+        replicas are that stripe's only redundancy, so they are exactly
+        what survives when a data-chunk home dies.
+        """
+        from repro.dfs.recovery import RecoveryError, RecoveryManager
+
+        recovery = None
+        first_chunk = sum(s.k for s in meta.stripes[: stripe.stripe_index])
+        chunks: List[np.ndarray] = []
+        for local, c in enumerate(stripe.data):
+            datanode = self.datanodes[c.node_id]
+            if datanode.is_alive and datanode.has_chunk(c.chunk_id):
+                chunks.append(datanode.read(c.chunk_id, at=self.clock))
+                continue
+            if recovery is None:
+                recovery = RecoveryManager(self)
+            piece = recovery._replica_range(meta, first_chunk + local, reader_node)
+            if piece is None:
+                raise RecoveryError(
+                    f"{meta.name}: stripe {stripe.stripe_index} data chunk "
+                    f"{local} unavailable and no replica covers it"
+                )
+            chunks.append(piece)
+        return chunks
+
     def _seal_stripe(self, meta: FileMeta, stripe: ECStripeMeta, ec: ECScheme) -> None:
         """Materialise missing parities for a parity-less stripe.
 
-        Data is read from the stripe's chunks (one striper-local encode),
-        parities land on the reserved co-located parity nodes.
+        Data is read from the stripe's chunks (one striper-local encode)
+        with replica-range fallback for chunks on dead nodes; parities
+        land on the reserved co-located parity nodes (or a live
+        substitute when a reserved node is down).
         """
         code = (
             self.cc_codec(stripe.k, stripe.k + ec.r)
             if ec.kind is CodeKind.CC
             else self.codec_for(ec)
         )
-        chunks = [
-            self.datanodes[c.node_id].read(c.chunk_id, at=self.clock)
-            for c in stripe.data
-        ]
+        striper = self._pick_striper([c.node_id for c in stripe.data])
+        chunks = self._read_stripe_data_degraded(meta, stripe, striper)
         parities = code.encode(chunks)
         placement = self._placement_for(meta.name, ec)
         first_chunk = sum(s.k for s in meta.stripes[: stripe.stripe_index])
-        striper = stripe.data[0].node_id
         self.charge_node_encode(striper, stripe.k, len(parities), self.chunk_size)
         kinds = self._parity_kinds(ec)
+        occupied = [c.node_id for c in stripe.all_chunks()]
         for j, parity in enumerate(
             parities[len(stripe.parities) :], start=len(stripe.parities)
         ):
-            node = placement.parity_node(meta.name, first_chunk, j)
+            node = self._alive_or_substitute(
+                placement.parity_node(meta.name, first_chunk, j), occupied
+            )
+            occupied.append(node)
             chunk_id = self.namenode.next_chunk_id(
                 f"{meta.name}/s{stripe.stripe_index}p{j}"
             )

@@ -1,16 +1,39 @@
 """Heartbeat-driven failure detection and background maintenance (§6.1/§6.2).
 
 The Namenode learns about Datanode health from periodic heartbeats; a
-node that misses enough consecutive beats is declared dead and its chunks
-are queued for reconstruction. The same tick drives the transcode work
-loop (the paper polls the ATQ on each heartbeat) and, at a lower cadence,
-the integrity scrubber.
+node that misses enough consecutive beats is declared dead. From there
+the heartbeat loop no longer executes maintenance itself — it *submits*
+typed work into the filesystem's
+:class:`~repro.sched.scheduler.MaintenanceScheduler` and drives one
+scheduler tick per heartbeat:
+
+* chunks homed on declared-dead nodes become
+  :class:`~repro.sched.tasks.ChunkRepairTask`s, classified critical when
+  the chunk's redundancy group has no spare redundancy left;
+* the file's ATQ is polled (bounded per heartbeat, §6.2) and each
+  conversion group becomes a deadline-carrying
+  :class:`~repro.sched.tasks.ConversionGroupTask`, plus one metadata-only
+  finalize task per transcoding file;
+* on scrub ticks a :class:`~repro.sched.tasks.ScrubTask` is queued.
+
+The scheduler then applies priorities, per-node byte budgets, retries
+and dead-lettering uniformly across all of it. With the default
+(unlimited) budgets the observable behavior matches the classic loop:
+everything submitted in a tick runs in that same tick.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Set
+from typing import Dict, List, Optional, Set
+
+from repro.sched.scheduler import SchedulerTickReport
+from repro.sched.tasks import (
+    ChunkRepairTask,
+    ConversionGroupTask,
+    ScrubTask,
+    TranscodeFinalizeTask,
+)
 
 
 @dataclass
@@ -21,6 +44,8 @@ class HeartbeatConfig:
     dead_after_missed: int = 3
     #: run the scrubber every this many ticks (0 = never)
     scrub_every_ticks: int = 0
+    #: ATQ groups polled into the scheduler per heartbeat (§6.2)
+    max_transcode_groups_per_tick: int = 8
 
 
 @dataclass
@@ -34,6 +59,8 @@ class TickReport:
     transcode_groups_run: int = 0
     chunks_scrubbed: int = 0
     corruptions_repaired: int = 0
+    #: the underlying scheduler tick (admissions, deferrals, dead letters)
+    scheduler: Optional[SchedulerTickReport] = None
 
 
 class HeartbeatMonitor:
@@ -56,8 +83,48 @@ class HeartbeatMonitor:
     def declared_dead(self) -> Set[str]:
         return set(self._declared_dead)
 
+    # -- work intake -----------------------------------------------------------
+    def _submit_repairs(self) -> int:
+        """Queue a repair task per lost chunk on a declared-dead node."""
+        from repro.dfs.recovery import RecoveryManager
+        from repro.sched.policies import classify_repair
+
+        scheduler = self.fs.scheduler
+        submitted = 0
+        for meta, chunk in RecoveryManager(self.fs).lost_chunks():
+            if chunk.node_id not in self._declared_dead:
+                continue  # transient blips never trigger IO storms
+            pending = scheduler.queue.find(
+                lambda t: isinstance(t, ChunkRepairTask) and t.chunk is chunk
+            )
+            if pending is not None:
+                continue
+            scheduler.submit(
+                ChunkRepairTask(meta, chunk, klass=classify_repair(self.fs, meta, chunk))
+            )
+            submitted += 1
+        return submitted
+
+    def _submit_transcode_work(self) -> None:
+        """Poll the ATQ (bounded) and keep a finalize task per UTM file."""
+        namenode = self.fs.namenode
+        scheduler = self.fs.scheduler
+        for name in list(namenode.utm):
+            job = namenode.utm[name]
+            for group in namenode.poll_work_for(
+                name, self.config.max_transcode_groups_per_tick
+            ):
+                scheduler.submit(ConversionGroupTask(group, deadline=job.deadline))
+            pending_finalize = scheduler.queue.find(
+                lambda t: isinstance(t, TranscodeFinalizeTask) and t.name == name
+            )
+            if pending_finalize is None:
+                scheduler.submit(TranscodeFinalizeTask(name))
+
+    # -- the tick ----------------------------------------------------------------
     def tick(self, recover: bool = True) -> TickReport:
-        """One heartbeat round: update health, drive recovery + upkeep."""
+        """One heartbeat round: update health, submit work, run the
+        scheduler for one tick."""
         self.tick_count += 1
         self.fs.clock += self.config.interval_s
         report = TickReport(tick=self.tick_count)
@@ -77,42 +144,29 @@ class HeartbeatMonitor:
                     self._declared_dead.add(node_id)
                     report.newly_dead.append(node_id)
         # Reconstruction only starts once the Namenode *declares* a node
-        # dead — transient blips never trigger IO storms.
+        # dead — and goes through the scheduler's priority/budget gate.
         if recover and report.newly_dead:
-            from repro.dfs.recovery import RecoveryManager
-
-            manager = RecoveryManager(self.fs)
-            for meta, chunk in manager.lost_chunks():
-                if chunk.node_id in self._declared_dead:
-                    manager.recover_chunk(meta, chunk)
-                    report.chunks_recovered += 1
-        # ATQ draining: bounded work per heartbeat (§6.2). Only Morph has
-        # a native transcoder; the baseline transcodes client-side.
-        transcoding_files = (
-            list(self.fs.namenode.utm) if hasattr(self.fs, "transcoder") else []
-        )
-        for name in transcoding_files:
-            groups = [
-                g for g in self.fs.namenode.poll_work(8) if g.file_name == name
-            ]
-            for group in groups:
-                self.fs.transcoder.execute_group(group)
-                report.transcode_groups_run += 1
-            old = self.fs.namenode.try_finalize(name)
-            if old is not None:
-                for chunk in old:
-                    self.fs.datanodes[chunk.node_id].delete(chunk.chunk_id)
-                    self.fs.checksums.forget(chunk.chunk_id)
+            self._submit_repairs()
+        # ATQ draining: bounded intake per heartbeat (§6.2). Only Morph
+        # has a native transcoder; the baseline transcodes client-side.
+        if hasattr(self.fs, "transcoder"):
+            self._submit_transcode_work()
         # Periodic scrub.
         if (
             self.config.scrub_every_ticks
             and self.tick_count % self.config.scrub_every_ticks == 0
         ):
-            from repro.dfs.integrity import Scrubber
-
-            scrub = Scrubber(self.fs).scan_and_repair()
-            report.chunks_scrubbed = scrub.chunks_scanned
-            report.corruptions_repaired = scrub.repaired
+            self.fs.scheduler.submit(ScrubTask())
+        sched_report = self.fs.scheduler.run_tick()
+        report.scheduler = sched_report
+        for task in sched_report.executed:
+            if isinstance(task, ChunkRepairTask) and task.result == "repaired":
+                report.chunks_recovered += 1
+            elif isinstance(task, ConversionGroupTask):
+                report.transcode_groups_run += 1
+            elif isinstance(task, ScrubTask):
+                report.chunks_scrubbed += task.result.chunks_scanned
+                report.corruptions_repaired += task.result.repaired
         return report
 
     def run_ticks(self, count: int) -> List[TickReport]:

@@ -57,6 +57,9 @@ class TranscodeJob:
     total_bits: int = 0
     #: final stripes accumulated by the transcoder, keyed by (group, idx)
     new_stripes: Dict[Tuple[int, int], ECStripeMeta] = field(default_factory=dict)
+    #: absolute DFS-clock time the lifetime policy wants this transcode
+    #: done by; the maintenance scheduler boosts the job as it nears
+    deadline: Optional[float] = None
 
     def is_complete(self) -> bool:
         return self.total_bits > 0 and self.pending_bits == 0
@@ -104,12 +107,18 @@ class Namenode:
         target_scheme: RedundancyScheme,
         groups: List[ConversionGroup],
         parities_per_final_stripe: int,
+        deadline: Optional[float] = None,
     ) -> TranscodeJob:
         """Queue a file's conversion groups into the ATQ (transcode())."""
         meta = self.lookup(name)
         if name in self.utm:
             raise TranscodeStateError(f"{name} is already transcoding")
-        job = TranscodeJob(file_name=name, target_scheme=target_scheme, groups=groups)
+        job = TranscodeJob(
+            file_name=name,
+            target_scheme=target_scheme,
+            groups=groups,
+            deadline=deadline,
+        )
         bit = 0
         for group in groups:
             for _final in range(group.n_final_stripes):
@@ -127,6 +136,20 @@ class Namenode:
         out = []
         while self.atq and len(out) < max_items:
             out.append(self.atq.popleft())
+        return out
+
+    def poll_work_for(self, name: str, max_items: int = 8) -> List[ConversionGroup]:
+        """Pop up to ``max_items`` of one file's groups from the ATQ,
+        leaving other files' groups queued in order."""
+        out: List[ConversionGroup] = []
+        rest: List[ConversionGroup] = []
+        while self.atq:
+            group = self.atq.popleft()
+            if group.file_name == name and len(out) < max_items:
+                out.append(group)
+            else:
+                rest.append(group)
+        self.atq.extendleft(reversed(rest))
         return out
 
     def _bit_index(

@@ -22,7 +22,7 @@ from typing import Dict, List, Optional
 import numpy as np
 
 from repro.codes.base import Stripe
-from repro.codes.convertible import ConvertibleCode, plan_conversion, convert
+from repro.codes.convertible import plan_conversion, convert
 from repro.codes.lrcc import (
     LocallyRecoverableConvertibleCode,
     convert_cc_to_lrcc,
@@ -45,20 +45,35 @@ class NativeTranscoder:
 
     # -- work loop ------------------------------------------------------------
     def run_pending(self, name: str, max_per_heartbeat: int = 8) -> None:
-        """Drain the ATQ for a file, then finalize (the heartbeat loop)."""
+        """Drain the ATQ for a file, then finalize (the heartbeat loop).
+
+        Work flows through a private, unthrottled maintenance scheduler:
+        each ATQ batch becomes a tick of :class:`ConversionGroupTask`s.
+        ``max_attempts=1`` keeps the inline path fail-fast — an
+        unexecutable group (planner/width errors) surfaces to the caller
+        as the original exception, via the scheduler's dead-letter list.
+        """
+        from repro.sched.policies import SchedulerPolicy
+        from repro.sched.scheduler import MaintenanceScheduler
+        from repro.sched.tasks import ConversionGroupTask, TranscodeFinalizeTask
+
         namenode = self.fs.namenode
+        job = namenode.utm.get(name)
+        deadline = job.deadline if job is not None else None
+        sched = MaintenanceScheduler(self.fs, SchedulerPolicy(max_attempts=1))
         while True:
-            groups = [
-                g for g in namenode.poll_work(max_per_heartbeat) if g.file_name == name
-            ]
+            groups = namenode.poll_work_for(name, max_per_heartbeat)
             if not groups:
                 break
             for group in groups:
-                self.execute_group(group)
-        old_parities = namenode.try_finalize(name)
-        if old_parities is not None:
-            for chunk in old_parities:
-                self.fs.datanodes[chunk.node_id].delete(chunk.chunk_id)
+                sched.submit(ConversionGroupTask(group, deadline=deadline))
+            sched.run_until_drained()
+            if sched.dead_letter:
+                raise sched.dead_letter[0].last_error
+        sched.submit(TranscodeFinalizeTask(name))
+        sched.run_until_drained()
+        if sched.dead_letter:
+            raise sched.dead_letter[0].last_error
 
     # -- group execution ----------------------------------------------------------
     def execute_group(self, group: ConversionGroup) -> None:

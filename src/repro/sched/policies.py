@@ -1,0 +1,163 @@
+"""Scheduling policy: priority bands, deadline boosts, aging, retries.
+
+The priority order the paper's regime implies (and "XORing Elephants"
+measured the cost of getting wrong):
+
+    critical repair  >  repair  >  deadline-boosted transcode
+                     >  transcode  >  scrub
+
+*Critical repair* is reconstruction of a chunk whose stripe or replica
+block has no spare redundancy left — one more loss is data loss.
+Transcodes whose lifetime-policy transition date is inside the boost
+window move up a band (still below repair: durability first). Waiting
+tasks age toward higher priority so a steady repair stream can never
+starve scrubs forever, but aging floors just below the critical band.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional
+
+from repro.sched.tasks import MaintenanceTask, TaskClass
+
+
+def _default_bands() -> Dict[TaskClass, float]:
+    return {
+        TaskClass.CRITICAL_REPAIR: 0.0,
+        TaskClass.REPAIR: 10.0,
+        TaskClass.TRANSCODE: 20.0,
+        TaskClass.SCRUB: 30.0,
+    }
+
+
+@dataclass
+class SchedulerPolicy:
+    """All the knobs of the maintenance control plane in one place."""
+
+    #: base priority per task class; smaller runs first
+    priority_bands: Dict[TaskClass, float] = field(default_factory=_default_bands)
+    #: priority a deadline-boosted transcode is promoted to (between the
+    #: repair and transcode bands)
+    boosted_transcode_priority: float = 15.0
+    #: a transcode is boosted when ``clock >= deadline - window``
+    deadline_boost_window_s: float = 600.0
+    #: how much a waiting task's effective priority improves per tick
+    aging_per_tick: float = 0.5
+    #: aging floor — aged tasks never outrank the critical-repair band
+    aged_priority_floor: float = 1.0
+
+    # -- retries -------------------------------------------------------------
+    #: attempts before a task is dead-lettered (task-level override wins)
+    max_attempts: int = 4
+    #: backoff after the i-th failure is ``base * factor**(i-1)`` ticks
+    backoff_base_ticks: int = 1
+    backoff_factor: float = 2.0
+    max_backoff_ticks: int = 64
+
+    # -- budgets -------------------------------------------------------------
+    #: per-node maintenance byte budgets refilled each tick; None = unlimited
+    disk_bytes_per_tick: Optional[float] = None
+    net_bytes_per_tick: Optional[float] = None
+    #: bucket capacity in ticks of refill — >1 lets idle ticks bank budget
+    budget_burst_ticks: float = 1.0
+    #: when the highest-priority IO task does not fit the budget, stop
+    #: admitting lower-priority IO work this tick so the bucket can fill
+    #: for it (prevents small tasks starving a large urgent one);
+    #: metadata-only tasks still run
+    block_on_head: bool = True
+    #: cap on tasks executed per tick (None = unbounded)
+    max_tasks_per_tick: Optional[int] = None
+
+    def attempts_allowed(self, task: MaintenanceTask) -> int:
+        return task.max_attempts if task.max_attempts is not None else self.max_attempts
+
+
+def effective_priority(
+    task: MaintenanceTask, policy: SchedulerPolicy, tick: int, clock: float
+) -> float:
+    """The priority a task competes with *now* (smaller = sooner)."""
+    base = policy.priority_bands.get(task.klass, 20.0)
+    if (
+        task.klass is TaskClass.TRANSCODE
+        and task.deadline is not None
+        and clock >= task.deadline - policy.deadline_boost_window_s
+    ):
+        base = min(base, policy.boosted_transcode_priority)
+    if base <= policy.aged_priority_floor:
+        return base
+    waited = max(0, tick - task.submitted_tick)
+    return max(policy.aged_priority_floor, base - policy.aging_per_tick * waited)
+
+
+def backoff_ticks(policy: SchedulerPolicy, attempts: int) -> int:
+    """Ticks to wait before retrying after the ``attempts``-th failure."""
+    raw = policy.backoff_base_ticks * policy.backoff_factor ** max(0, attempts - 1)
+    return int(min(policy.max_backoff_ticks, max(1, raw)))
+
+
+def classify_repair(fs, meta, chunk) -> TaskClass:
+    """CRITICAL_REPAIR when the chunk's redundancy group is at its
+    tolerance limit (losing one more source loses data), else REPAIR.
+
+    Heuristic, erring toward REPAIR: replica ranges covering an EC span
+    count as redundancy, so a hybrid file's EC chunk is never critical
+    while its replicas survive.
+    """
+
+    def available(c) -> bool:
+        dn = fs.datanodes.get(c.node_id)
+        return dn is not None and dn.is_alive and dn.has_chunk(c.chunk_id)
+
+    def replicas_cover(first: int, count: int) -> bool:
+        """Every data-chunk index in [first, first+count) has a live copy."""
+        for idx in range(first, first + count):
+            hit = False
+            for block in meta.replica_blocks:
+                if block.first_chunk <= idx < block.first_chunk + block.n_chunks:
+                    hit = any(available(c) for c in block.copies)
+                    if hit:
+                        break
+            if not hit:
+                return False
+        return count > 0
+
+    passed = 0
+    for stripe in meta.stripes:
+        chunks = stripe.all_chunks()
+        if chunk in chunks:
+            unavailable = sum(1 for c in chunks if not available(c))
+            if unavailable < stripe.n - stripe.k:
+                return TaskClass.REPAIR
+            # Stripe at (or past) its tolerance limit: replicas covering
+            # the stripe's data span are the remaining safety margin.
+            return (
+                TaskClass.REPAIR
+                if replicas_cover(passed, stripe.k)
+                else TaskClass.CRITICAL_REPAIR
+            )
+        passed += stripe.k
+
+    # Replica chunk: other copies of its block, else a decodable stripe.
+    for block in meta.replica_blocks:
+        if chunk in block.copies:
+            others = [c for c in block.copies if c is not chunk]
+            if any(available(c) for c in others):
+                return TaskClass.REPAIR
+            span_start = 0
+            for stripe in meta.stripes:
+                span_end = span_start + stripe.k
+                overlaps = (
+                    block.first_chunk < span_end
+                    and block.first_chunk + block.n_chunks > span_start
+                )
+                if overlaps:
+                    chunks = stripe.all_chunks()
+                    unavailable = sum(1 for c in chunks if not available(c))
+                    if unavailable > stripe.n - stripe.k:
+                        return TaskClass.CRITICAL_REPAIR
+                span_start = span_end
+            if not meta.stripes:
+                return TaskClass.CRITICAL_REPAIR
+            return TaskClass.REPAIR
+    return TaskClass.REPAIR

@@ -1,0 +1,220 @@
+"""The maintenance scheduler: one tick = one bounded slice of work.
+
+Each tick the scheduler refills the per-node budgets, ranks the ready
+queue by effective priority (bands + deadline boosts + aging), and
+admits tasks in order:
+
+* metadata-only tasks always run — a zero-IO hybrid -> EC transition or
+  a transcode finalize is never delayed by budget exhaustion;
+* IO tasks run only when their worst-case bytes fit the budgets; when
+  the most urgent IO task does not fit, lower-priority IO work is held
+  back too (``block_on_head``) so the bucket can fill for it;
+* a task that raises is retried with exponential backoff, and after
+  ``max_attempts`` failures lands in the dead-letter list — never
+  silently dropped.
+
+Actual bytes and CPU are metered from the filesystem's
+:class:`~repro.cluster.metrics.IOMetrics` deltas around each execution
+and recorded per task class into the same metrics object, so benchmarks
+can read "repair moved X bytes, scrub moved Y" directly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.sched.budget import BudgetManager
+from repro.sched.policies import SchedulerPolicy, backoff_ticks
+from repro.sched.queue import PriorityTaskQueue
+from repro.sched.tasks import MaintenanceTask, TaskClass, TaskState
+
+
+@dataclass
+class SchedulerTickReport:
+    """What one scheduler tick admitted, finished, deferred and buried."""
+
+    tick: int
+    executed: List[MaintenanceTask] = field(default_factory=list)
+    failed: List[MaintenanceTask] = field(default_factory=list)
+    dead_lettered: List[MaintenanceTask] = field(default_factory=list)
+    deferred_budget: int = 0
+    deferred_backoff: int = 0
+    disk_bytes: float = 0.0
+    net_bytes: float = 0.0
+
+    def completed(self, klass: Optional[TaskClass] = None) -> List[MaintenanceTask]:
+        if klass is None:
+            return list(self.executed)
+        return [t for t in self.executed if t.klass is klass]
+
+
+class MaintenanceScheduler:
+    """Owns the queue, the budgets, and the execution loop."""
+
+    def __init__(self, fs=None, policy: Optional[SchedulerPolicy] = None):
+        self.fs = fs
+        self.policy = policy or SchedulerPolicy()
+        self.queue = PriorityTaskQueue()
+        self.budgets = BudgetManager(
+            disk_bytes_per_tick=self.policy.disk_bytes_per_tick,
+            net_bytes_per_tick=self.policy.net_bytes_per_tick,
+            burst_ticks=self.policy.budget_burst_ticks,
+        )
+        self.tick_count = 0
+
+    # -- intake ---------------------------------------------------------------
+    def submit(self, task: MaintenanceTask) -> MaintenanceTask:
+        task.submitted_tick = self.tick_count
+        task.not_before_tick = max(task.not_before_tick, self.tick_count)
+        return self.queue.push(task)
+
+    # -- views ----------------------------------------------------------------
+    @property
+    def dead_letter(self) -> List[MaintenanceTask]:
+        return self.queue.dead_letter
+
+    def has_pending(self) -> bool:
+        return len(self.queue) > 0
+
+    def clock(self) -> float:
+        return getattr(self.fs, "clock", float(self.tick_count))
+
+    def _metrics(self):
+        return getattr(self.fs, "metrics", None)
+
+    # -- the tick -------------------------------------------------------------
+    def run_tick(self) -> SchedulerTickReport:
+        self.tick_count += 1
+        self.budgets.refill_all()
+        report = SchedulerTickReport(tick=self.tick_count)
+        ready = self.queue.ready(self.policy, self.tick_count, self.clock())
+        report.deferred_backoff = len(self.queue) - len(ready)
+        head_blocked = False
+        executed = 0
+        cap = self.policy.max_tasks_per_tick
+        for task in ready:
+            if cap is not None and executed >= cap:
+                break
+            if not task.metadata_only:
+                if head_blocked:
+                    report.deferred_budget += 1
+                    continue
+                if not self._admit(task):
+                    report.deferred_budget += 1
+                    if self.policy.block_on_head:
+                        head_blocked = True
+                    continue
+            self.queue.remove(task)
+            self._execute(task, report)
+            executed += 1
+        return report
+
+    def run_until_drained(self, max_ticks: int = 10_000) -> List[SchedulerTickReport]:
+        """Tick until the queue empties (backoff holds included)."""
+        reports = []
+        for _ in range(max_ticks):
+            if not self.has_pending():
+                break
+            reports.append(self.run_tick())
+        return reports
+
+    # -- admission ------------------------------------------------------------
+    def _admit(self, task: MaintenanceTask) -> bool:
+        if self.budgets.unlimited:
+            return True
+        charges = task.node_charges(self.fs)
+        if charges is not None:
+            return self.budgets.admits(charges)
+        cost = task.estimated_cost(self.fs)
+        return self.budgets.admits_everywhere(self._charge_domain(), cost)
+
+    def _charge_domain(self) -> List[str]:
+        """Nodes a cost-unattributed task might touch: every live node."""
+        if self.fs is None:
+            return []
+        cluster = getattr(self.fs, "cluster", None)
+        if cluster is None:
+            return []
+        return [n.node_id for n in cluster.alive_nodes()]
+
+    # -- execution ------------------------------------------------------------
+    def _snapshot(self) -> Dict[str, Tuple[float, float, float]]:
+        metrics = self._metrics()
+        if metrics is None:
+            return {}
+        return {
+            node_id: (
+                m.disk_bytes_read + m.disk_bytes_written,
+                m.net_bytes_in + m.net_bytes_out,
+                m.cpu_seconds,
+            )
+            for node_id, m in metrics.nodes.items()
+        }
+
+    def _settle(
+        self,
+        task: MaintenanceTask,
+        before: Dict[str, Tuple[float, float, float]],
+        report: SchedulerTickReport,
+        completed: bool,
+    ) -> None:
+        """Charge budgets with what the task actually moved and record
+        per-class accounting into the metrics ledger."""
+        disk_total = net_total = cpu_total = 0.0
+        charges = task.node_charges(self.fs)
+        if charges is not None:
+            for node_id, cost in charges.items():
+                self.budgets.charge(node_id, cost.disk_bytes, cost.net_bytes)
+                disk_total += cost.disk_bytes
+                net_total += cost.net_bytes
+        else:
+            metrics = self._metrics()
+            if metrics is not None:
+                after = self._snapshot()
+                for node_id, (disk, net, cpu) in after.items():
+                    b_disk, b_net, b_cpu = before.get(node_id, (0.0, 0.0, 0.0))
+                    d_disk, d_net = disk - b_disk, net - b_net
+                    if d_disk or d_net:
+                        self.budgets.charge(node_id, d_disk, d_net)
+                    disk_total += d_disk
+                    net_total += d_net
+                    cpu_total += cpu - b_cpu
+        report.disk_bytes += disk_total
+        report.net_bytes += net_total
+        metrics = self._metrics()
+        if metrics is not None and hasattr(metrics, "record_maintenance"):
+            metrics.record_maintenance(
+                str(task.klass),
+                disk_bytes=disk_total,
+                net_bytes=net_total,
+                cpu_seconds=cpu_total,
+                completed=1 if completed else 0,
+                failed=0 if completed else 1,
+            )
+
+    def _execute(self, task: MaintenanceTask, report: SchedulerTickReport) -> None:
+        before = self._snapshot()
+        try:
+            task.result = task.execute(self.fs)
+        except Exception as exc:  # noqa: BLE001 — any task failure retries
+            task.attempts += 1
+            task.last_error = exc
+            task.state = TaskState.FAILED
+            self._settle(task, before, report, completed=False)
+            report.failed.append(task)
+            if task.attempts >= self.policy.attempts_allowed(task):
+                self.queue.bury(task)
+                report.dead_lettered.append(task)
+                metrics = self._metrics()
+                if metrics is not None and hasattr(metrics, "record_maintenance"):
+                    metrics.record_maintenance(str(task.klass), dead_lettered=1)
+            else:
+                task.not_before_tick = self.tick_count + backoff_ticks(
+                    self.policy, task.attempts
+                )
+                self.queue.push(task)
+        else:
+            task.state = TaskState.DONE
+            self._settle(task, before, report, completed=True)
+            report.executed.append(task)

@@ -1,0 +1,324 @@
+"""Typed maintenance work items.
+
+Every kind of background work the cluster performs — chunk
+reconstruction, transcode conversion groups, transcode finalization,
+free (metadata-only) redundancy transitions, integrity scrubs — is a
+:class:`MaintenanceTask`. Tasks carry a class (which fixes their base
+priority band), an optional deadline (which can boost transcodes), a
+conservative worst-case cost estimate (what budget admission checks),
+and an ``execute`` hook the scheduler calls.
+
+``estimated_cost`` is deliberately an *upper bound*: admission charges
+the full estimate against every node the task might touch, so the
+per-node per-tick byte cap is a hard invariant, not a soft target (the
+actual bytes, metered by the DFS, are always <= the estimate).
+
+The module never imports ``repro.dfs`` at module level — the scheduler
+is also used standalone by the event-driven interference simulation
+(`repro.sched.simulate`), where tasks are :class:`CallbackTask`s with
+pre-computed per-node charges and there is no filesystem at all.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Any, Callable, Dict, Optional
+
+
+class TaskClass(enum.Enum):
+    """Priority class of a maintenance task (paper §6.1/§6.2 work types)."""
+
+    #: reconstruction of a chunk whose stripe/block has no spare redundancy
+    #: left — one more loss means data loss
+    CRITICAL_REPAIR = "critical_repair"
+    #: ordinary reconstruction of a chunk homed on a dead node
+    REPAIR = "repair"
+    #: transcode work: conversion groups, finalize, free transitions
+    TRANSCODE = "transcode"
+    #: background integrity scrubbing
+    SCRUB = "scrub"
+
+    def __str__(self) -> str:  # metrics ledger keys read nicely
+        return self.value
+
+
+class TaskState(enum.Enum):
+    PENDING = "pending"
+    DONE = "done"
+    FAILED = "failed"  # retrying with backoff
+    DEAD = "dead"  # exhausted retries; in the dead-letter list
+
+
+@dataclass(frozen=True)
+class TaskCost:
+    """Bytes a task may move, for budget admission and accounting."""
+
+    disk_bytes: float = 0.0
+    net_bytes: float = 0.0
+
+    def __add__(self, other: "TaskCost") -> "TaskCost":
+        return TaskCost(
+            self.disk_bytes + other.disk_bytes, self.net_bytes + other.net_bytes
+        )
+
+
+class MaintenanceTask:
+    """Base class: scheduling state + the hooks subclasses implement."""
+
+    def __init__(
+        self,
+        klass: TaskClass,
+        deadline: Optional[float] = None,
+        metadata_only: bool = False,
+        max_attempts: Optional[int] = None,
+    ):
+        self.klass = klass
+        #: absolute DFS-clock time by which this task should have run
+        #: (used to boost transcodes whose lifetime transition is near)
+        self.deadline = deadline
+        #: metadata-only tasks move no bytes and bypass budget admission
+        self.metadata_only = metadata_only
+        #: per-task override of the policy's retry cap (None = policy's)
+        self.max_attempts = max_attempts
+        # -- scheduler-managed state --
+        self.task_id: int = -1
+        self.state: TaskState = TaskState.PENDING
+        self.attempts: int = 0
+        self.submitted_tick: int = -1
+        self.not_before_tick: int = 0
+        self.last_error: Optional[BaseException] = None
+        self.result: Any = None
+
+    # -- hooks ---------------------------------------------------------------
+    def estimated_cost(self, fs) -> TaskCost:
+        """Worst-case bytes this task may move (aggregate, upper bound)."""
+        return TaskCost()
+
+    def node_charges(self, fs) -> Optional[Dict[str, TaskCost]]:
+        """Exact per-node cost when known ahead of time, else None.
+
+        When None the scheduler admits conservatively (the aggregate
+        estimate must fit every node it might touch) and charges actual
+        per-node bytes from the metrics deltas after execution.
+        """
+        return None
+
+    def execute(self, fs) -> Any:
+        raise NotImplementedError
+
+    def describe(self) -> str:
+        return f"{self.klass}#{self.task_id}"
+
+    def __repr__(self) -> str:
+        return (
+            f"<{type(self).__name__} {self.describe()} state={self.state.value} "
+            f"attempts={self.attempts}>"
+        )
+
+
+class ChunkRepairTask(MaintenanceTask):
+    """Rebuild one chunk lost to a node failure (§4.4, §6.1)."""
+
+    def __init__(self, meta, chunk, klass: TaskClass = TaskClass.REPAIR, **kw):
+        super().__init__(klass, **kw)
+        self.meta = meta
+        self.chunk = chunk
+
+    def estimated_cost(self, fs) -> TaskCost:
+        # Worst case is a full-stripe decode: k source reads, one write,
+        # k transfers to the rebuilding node.
+        k = max((s.k for s in self.meta.stripes), default=1)
+        size = float(self.chunk.size or self.meta.chunk_size)
+        return TaskCost(disk_bytes=(k + 1) * size, net_bytes=k * size)
+
+    def execute(self, fs):
+        datanode = fs.datanodes.get(self.chunk.node_id)
+        if (
+            datanode is not None
+            and datanode.is_alive
+            and datanode.has_chunk(self.chunk.chunk_id)
+        ):
+            return "skipped"  # node returned (or another task repaired it)
+        if fs.namenode.files.get(self.meta.name) is not self.meta:
+            return "skipped"  # file deleted or replaced since submission
+        if self.chunk not in self.meta.all_chunks():
+            return "skipped"  # chunk dropped by a finalize since submission
+        from repro.dfs.recovery import RecoveryManager
+
+        RecoveryManager(fs).recover_chunk(self.meta, self.chunk)
+        return "repaired"
+
+    def describe(self) -> str:
+        return f"repair {self.meta.name}:{self.chunk.chunk_id}"
+
+
+class ConversionGroupTask(MaintenanceTask):
+    """Execute one queued transcode conversion group (ATQ work, §6.2)."""
+
+    def __init__(self, group, deadline: Optional[float] = None, **kw):
+        super().__init__(TaskClass.TRANSCODE, deadline=deadline, **kw)
+        self.group = group
+
+    def estimated_cost(self, fs) -> TaskCost:
+        meta = None
+        if fs is not None:
+            meta = fs.namenode.files.get(self.group.file_name)
+        if meta is None:
+            return TaskCost()
+        chunk = float(meta.chunk_size)
+        stripes = [
+            meta.stripes[i]
+            for i in self.group.initial_stripe_indices
+            if i < len(meta.stripes)
+        ]
+        total_chunks = sum(s.n for s in stripes)
+        total_data = sum(s.k for s in stripes)
+        target = self.group.target_scheme
+        ec = target.ec if hasattr(target, "ec") else target
+        # For LRC-family schemes n - k == local_groups + r_global already.
+        parities = max(getattr(ec, "n", 0) - getattr(ec, "k", 0), 1)
+        writes = self.group.n_final_stripes * parities + total_data  # + relocations
+        return TaskCost(
+            disk_bytes=(total_chunks + writes) * chunk,
+            net_bytes=(total_chunks * max(parities, 1) + total_data) * chunk,
+        )
+
+    def execute(self, fs):
+        fs.transcoder.execute_group(self.group)
+        return "converted"
+
+    def describe(self) -> str:
+        return f"transcode {self.group.file_name}/g{self.group.group_index}"
+
+
+class TranscodeFinalizeTask(MaintenanceTask):
+    """Attempt the atomic metadata switch for a transcoding file.
+
+    Metadata-only: the switch is one reference assignment plus garbage
+    deletion of the old parities, so it must never wait on IO budgets.
+    """
+
+    def __init__(self, name: str, **kw):
+        kw.setdefault("metadata_only", True)
+        super().__init__(TaskClass.TRANSCODE, **kw)
+        self.name = name
+
+    def execute(self, fs):
+        old = fs.namenode.try_finalize(self.name)
+        if old is None:
+            return "pending"
+        for chunk in old:
+            fs.datanodes[chunk.node_id].delete(chunk.chunk_id)
+            fs.checksums.forget(chunk.chunk_id)
+        return "finalized"
+
+    def describe(self) -> str:
+        return f"finalize {self.name}"
+
+
+class FreeTransitionTask(MaintenanceTask):
+    """Hybrid -> EC transition (§4.5): drop replicas, flip metadata.
+
+    Zero IO when every stripe already has its parities — in that case the
+    task is metadata-only and completes within one scheduler tick however
+    exhausted the budgets are. When some stripes still need sealing
+    (``parity_mode="none"`` or an open appended tail) the caller marks it
+    budgeted instead.
+    """
+
+    def __init__(self, name: str, target, metadata_only: bool = True, **kw):
+        super().__init__(
+            TaskClass.TRANSCODE, metadata_only=metadata_only, **kw
+        )
+        self.name = name
+        self.target = target
+
+    def estimated_cost(self, fs) -> TaskCost:
+        if self.metadata_only or fs is None:
+            return TaskCost()
+        meta = fs.namenode.files.get(self.name)
+        if meta is None:
+            return TaskCost()
+        # Sealing reads each unsealed stripe's data and writes r parities.
+        ec = self.target.ec if hasattr(self.target, "ec") else self.target
+        r = max(getattr(ec, "n", 0) - getattr(ec, "k", 0), 1)
+        chunk = float(meta.chunk_size)
+        unsealed = [s for s in meta.stripes if len(s.parities) < r]
+        bytes_moved = sum((s.k + r) * chunk for s in unsealed)
+        return TaskCost(disk_bytes=bytes_moved, net_bytes=bytes_moved)
+
+    def execute(self, fs):
+        meta = fs.namenode.files.get(self.name)
+        if meta is None:
+            return "skipped"
+        fs._free_transition(meta, self.target)
+        return "transitioned"
+
+    def describe(self) -> str:
+        return f"free-transition {self.name}"
+
+
+class ScrubTask(MaintenanceTask):
+    """One integrity sweep over every on-disk chunk (§6.1)."""
+
+    def __init__(self, **kw):
+        super().__init__(TaskClass.SCRUB, **kw)
+
+    def estimated_cost(self, fs) -> TaskCost:
+        if fs is None:
+            return TaskCost()
+        at_rest = float(fs.capacity_used())
+        # Scanning reads everything once; repairs of what it finds can
+        # roughly double that in the worst case.
+        return TaskCost(disk_bytes=2.0 * at_rest, net_bytes=at_rest)
+
+    def execute(self, fs):
+        from repro.dfs.integrity import Scrubber
+
+        return Scrubber(fs).scan_and_repair()
+
+    def describe(self) -> str:
+        return "scrub"
+
+
+class CallbackTask(MaintenanceTask):
+    """A task defined by a plain callable — for simulations and tests.
+
+    ``charges`` (node id -> :class:`TaskCost`) makes admission exact:
+    each listed node must have budget for its own share, and exactly that
+    share is charged on execution.
+    """
+
+    def __init__(
+        self,
+        fn: Callable[..., Any],
+        klass: TaskClass = TaskClass.REPAIR,
+        cost: TaskCost = TaskCost(),
+        charges: Optional[Dict[str, TaskCost]] = None,
+        label: str = "",
+        **kw,
+    ):
+        super().__init__(klass, **kw)
+        import inspect
+
+        self.fn = fn
+        self.cost = cost
+        self.charges = charges
+        self.label = label or getattr(fn, "__name__", "callback")
+        try:
+            self._wants_fs = len(inspect.signature(fn).parameters) >= 1
+        except (TypeError, ValueError):
+            self._wants_fs = False
+
+    def estimated_cost(self, fs) -> TaskCost:
+        return self.cost
+
+    def node_charges(self, fs) -> Optional[Dict[str, TaskCost]]:
+        return self.charges
+
+    def execute(self, fs):
+        return self.fn(fs) if self._wants_fs else self.fn()
+
+    def describe(self) -> str:
+        return self.label

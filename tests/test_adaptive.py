@@ -8,7 +8,6 @@ from repro.core.adaptive import (
     BathtubCurve,
     DEFAULT_LADDER,
 )
-from repro.core.schemes import CodeKind, ECScheme
 
 
 class TestBathtubCurve:

@@ -1,7 +1,6 @@
 """Bench harness utilities: tables, plots, CLI, experiment smoke tests."""
 
 import numpy as np
-import pytest
 
 from repro.bench.ascii_plots import bar_chart, cdf_plot, histogram, series_plot, sparkline
 from repro.bench.reporting import format_table, series_summary

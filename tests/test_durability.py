@@ -1,6 +1,5 @@
 """Durability analysis: the quantitative case for hybrid redundancy."""
 
-import numpy as np
 import pytest
 
 from repro.core.durability import (

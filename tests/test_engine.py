@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.cluster.engine import AllOf, AnyOf, Environment, Resource, Timeout
+from repro.cluster.engine import AllOf, AnyOf, Environment, Resource
 
 
 class TestTimeouts:

@@ -13,7 +13,6 @@ from repro.gf.field16 import (
     FIELD_ORDER_16,
     bytes_to_symbols,
     gf16_batch_det,
-    gf16_element,
     gf16_inv,
     gf16_matinv,
     gf16_matmul,

@@ -1,0 +1,118 @@
+"""Flapping nodes and scrub gating in the heartbeat monitor (§6.1).
+
+A node that repeatedly goes quiet for one beat less than the declaration
+threshold and then returns must never be declared dead, and must never
+trigger reconstruction IO — transient blips are the common case in large
+clusters and repair storms for them would swamp foreground traffic.
+"""
+
+import numpy as np
+import pytest
+
+import repro.dfs.integrity as integrity
+from repro.core.schemes import CodeKind, ECScheme, HybridScheme
+from repro.dfs import MorphFS
+from repro.dfs.heartbeat import HeartbeatConfig, HeartbeatMonitor
+from repro.sched.tasks import ChunkRepairTask
+
+KB = 1024
+CC69 = ECScheme(CodeKind.CC, 6, 9)
+
+
+def hybrid_fs(seed=1, n_kb=96):
+    fs = MorphFS(chunk_size=4 * KB, future_widths=[6, 12])
+    data = np.random.default_rng(seed).integers(0, 256, n_kb * KB, dtype=np.uint8)
+    fs.write_file("f", data, HybridScheme(1, CC69))
+    return fs, data
+
+
+def kill(fs, node_id):
+    fs.cluster.fail_node(node_id)
+    fs.datanodes[node_id].fail()
+
+
+def revive(fs, node_id):
+    fs.cluster.recover_node(node_id)
+    fs.datanodes[node_id].recover()
+
+
+class TestFlappingNode:
+    @pytest.mark.parametrize("dead_after_missed", [2, 3, 5])
+    def test_flapping_node_is_never_declared_dead(self, dead_after_missed):
+        fs, data = hybrid_fs()
+        monitor = HeartbeatMonitor(
+            fs, HeartbeatConfig(dead_after_missed=dead_after_missed)
+        )
+        victim = fs.namenode.lookup("f").stripes[0].data[0].node_id
+        for _cycle in range(4):
+            kill(fs, victim)
+            # Miss one beat fewer than the declaration threshold...
+            for _ in range(dead_after_missed - 1):
+                report = monitor.tick()
+                assert report.newly_dead == []
+            # ...then come back: the miss counter must reset fully.
+            revive(fs, victim)
+            report = monitor.tick()
+            assert report.newly_dead == []
+            assert victim not in monitor.declared_dead()
+        assert np.array_equal(fs.read_file("f"), data)
+
+    def test_flapping_node_never_enqueues_repair_tasks(self):
+        fs, data = hybrid_fs()
+        monitor = HeartbeatMonitor(fs, HeartbeatConfig(dead_after_missed=3))
+        victim = fs.namenode.lookup("f").stripes[0].data[0].node_id
+        for _cycle in range(5):
+            kill(fs, victim)
+            reports = [monitor.tick(), monitor.tick()]
+            revive(fs, victim)
+            reports.append(monitor.tick())
+            for report in reports:
+                assert report.chunks_recovered == 0
+                assert not any(
+                    isinstance(t, ChunkRepairTask)
+                    for t in report.scheduler.executed
+                )
+            assert not fs.scheduler.queue.find(
+                lambda t: isinstance(t, ChunkRepairTask)
+            )
+        # Chunks were never re-homed away from the flapping node.
+        meta = fs.namenode.lookup("f")
+        assert any(c.node_id == victim for c in meta.all_chunks())
+
+    def test_miss_counter_resets_on_single_beat(self):
+        """One good beat wipes the whole miss history, not just one miss."""
+        fs, _ = hybrid_fs()
+        monitor = HeartbeatMonitor(fs, HeartbeatConfig(dead_after_missed=2))
+        victim = fs.cluster.nodes[0].node_id
+        kill(fs, victim)
+        monitor.tick()  # missed 1 of 2
+        revive(fs, victim)
+        monitor.tick()  # beat: counter back to zero
+        kill(fs, victim)
+        report = monitor.tick()  # missed 1 of 2 again — still alive
+        assert report.newly_dead == []
+        assert victim not in monitor.declared_dead()
+
+
+class TestScrubGating:
+    def test_scrub_every_ticks_zero_never_instantiates_scrubber(
+        self, monkeypatch
+    ):
+        fs, _ = hybrid_fs()
+
+        def explode(*args, **kwargs):
+            raise AssertionError("Scrubber must not run with scrubbing off")
+
+        monkeypatch.setattr(integrity, "Scrubber", explode)
+        monitor = HeartbeatMonitor(fs, HeartbeatConfig(scrub_every_ticks=0))
+        for _ in range(25):
+            report = monitor.tick()
+            assert report.chunks_scrubbed == 0
+
+    def test_scrub_every_ticks_runs_on_cadence(self):
+        fs, _ = hybrid_fs()
+        monitor = HeartbeatMonitor(fs, HeartbeatConfig(scrub_every_ticks=3))
+        scrub_ticks = [
+            monitor.tick().chunks_scrubbed > 0 for _ in range(6)
+        ]
+        assert scrub_ticks == [False, False, True, False, False, True]

@@ -1,9 +1,8 @@
 """Checksums, corruption detection and the scrubber (§6.1)."""
 
 import numpy as np
-import pytest
 
-from repro.core.schemes import CodeKind, ECScheme, HybridScheme, Replication
+from repro.core.schemes import CodeKind, ECScheme, HybridScheme
 from repro.dfs import BaselineDFS, MorphFS
 from repro.dfs.integrity import ChecksumRegistry, Scrubber, chunk_checksum, corrupt_chunk
 

@@ -7,7 +7,6 @@ from repro.core.lifecycle import (
     LifetimePhase,
     LifetimePolicy,
     LifetimeStage,
-    baseline_macrobench_policy,
     baseline_microbench_policy,
     morph_macrobench_policy,
     morph_microbench_policy,

@@ -5,7 +5,7 @@ import pytest
 
 from repro.core.lifecycle import morph_macrobench_policy, morph_microbench_policy
 from repro.core.manager import LifetimeManager
-from repro.core.schemes import CodeKind, ECScheme, HybridScheme
+from repro.core.schemes import CodeKind, ECScheme
 from repro.dfs import MorphFS
 
 KB = 1024

@@ -153,7 +153,7 @@ class TestRackAwareness:
         """A CC(6,9) stripe placed rack-aware survives losing one rack."""
         import numpy as np
 
-        from repro.core.schemes import CodeKind, ECScheme, HybridScheme
+        from repro.core.schemes import CodeKind, ECScheme
         from repro.dfs import MorphFS
 
         fs = MorphFS(chunk_size=4 * 1024, future_widths=[6])

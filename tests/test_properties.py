@@ -5,7 +5,7 @@ import pytest
 from hypothesis import HealthCheck, given, settings, strategies as st
 
 from repro.codes.base import chunks_equal
-from repro.codes.convertible import ConvertibleCode, convert, plan_conversion
+from repro.codes.convertible import ConvertibleCode, convert
 from repro.codes.lrcc import LocallyRecoverableConvertibleCode
 from repro.codes.rs import ReedSolomon
 

@@ -1,6 +1,5 @@
 """Trace-driven replay: executing the trace workload on the real DFS."""
 
-import numpy as np
 import pytest
 
 from repro.traces.replay import TraceReplayer, compare_replay

@@ -1,6 +1,5 @@
 """Redundancy scheme descriptors, Appendix-B probability, k*."""
 
-import numpy as np
 import pytest
 
 from repro.core.schemes import (

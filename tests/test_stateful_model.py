@@ -7,7 +7,6 @@ live file must read back byte-identical — regardless of operation order.
 """
 
 import numpy as np
-import pytest
 from hypothesis import settings
 from hypothesis.stateful import (
     RuleBasedStateMachine,
