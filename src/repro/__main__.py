@@ -6,6 +6,8 @@ Usage::
     python -m repro fig01                # one experiment
     python -m repro fig12 fig17 fig18    # several
     python -m repro all                  # everything (takes a while)
+    python -m repro report               # cluster health report (obs demo)
+    python -m repro report --selftest    # verify observability invariants
 """
 
 from __future__ import annotations
@@ -192,8 +194,13 @@ def main(argv=None) -> int:
     args = list(sys.argv[1:] if argv is None else argv)
     if not args or args[0] in ("-h", "--help", "list"):
         print(__doc__)
-        print("experiments:", " ".join(COMMANDS))
+        print("experiments:", " ".join(COMMANDS), "report")
         return 0
+    if args[0] == "report":
+        # The one subcommand that takes its own flags.
+        from repro.obs.report import main as report_main
+
+        return report_main(args[1:])
     targets = list(COMMANDS) if args == ["all"] else args
     unknown = [t for t in targets if t not in COMMANDS]
     if unknown:

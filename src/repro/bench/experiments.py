@@ -395,21 +395,26 @@ def fig11_micro(file_mb: int = 8, chunk_kb: int = 16, seed: int = 5) -> Dict:
     """
     from repro.core.schemes import CodeKind, ECScheme, HybridScheme, Replication
     from repro.dfs import BaselineDFS, MorphFS
+    from repro.obs import Observability
 
     rng = np.random.default_rng(seed)
     data = rng.integers(0, 256, file_mb * MB, dtype=np.uint8)
 
     def snapshot(fs):
+        # Reported numbers come from the metrics registry — the same
+        # series the Prometheus/JSON exporters publish — not from ad-hoc
+        # ledger reads, so telemetry and benchmark output cannot diverge.
+        registry = fs.obs.registry
         return {
-            "disk_read": fs.metrics.disk_bytes_read,
-            "disk_write": fs.metrics.disk_bytes_written,
-            "network": fs.metrics.net_bytes_total,
-            "capacity": fs.capacity_used(),
+            "disk_read": registry.value("dfs_disk_read_bytes"),
+            "disk_write": registry.value("dfs_disk_write_bytes"),
+            "network": registry.value("dfs_net_bytes"),
+            "capacity": registry.value("dfs_capacity_bytes"),
         }
 
     results: Dict = {"file_bytes": float(len(data))}
 
-    baseline = BaselineDFS(chunk_size=chunk_kb * 1024)
+    baseline = BaselineDFS(chunk_size=chunk_kb * 1024, obs=Observability())
     baseline.write_file("f", data, Replication(3))
     phases_b = {"ingest": snapshot(baseline)}
     baseline.transcode("f", ECScheme(CodeKind.RS, 6, 9))
@@ -419,7 +424,9 @@ def fig11_micro(file_mb: int = 8, chunk_kb: int = 16, seed: int = 5) -> Dict:
     results["baseline"] = phases_b
 
     cc69 = ECScheme(CodeKind.CC, 6, 9)
-    morph = MorphFS(chunk_size=chunk_kb * 1024, future_widths=[6, 12])
+    morph = MorphFS(
+        chunk_size=chunk_kb * 1024, future_widths=[6, 12], obs=Observability()
+    )
     morph.write_file("f", data, HybridScheme(1, cc69))
     phases_m = {"ingest": snapshot(morph)}
     morph.transcode("f", cc69)
@@ -464,6 +471,7 @@ def fig11_macro(
     """
     from repro.core.schemes import CodeKind, ECScheme, HybridScheme, Replication
     from repro.dfs import BaselineDFS, MorphFS
+    from repro.obs import Observability
 
     rng = np.random.default_rng(seed)
     datasets = [
@@ -475,9 +483,13 @@ def fig11_macro(
 
     def run(system: str) -> Dict:
         if system == "baseline":
-            fs = BaselineDFS(chunk_size=chunk_kb * 1024)
+            fs = BaselineDFS(chunk_size=chunk_kb * 1024, obs=Observability())
         else:
-            fs = MorphFS(chunk_size=chunk_kb * 1024, future_widths=[5, 10, 20])
+            fs = MorphFS(
+                chunk_size=chunk_kb * 1024,
+                future_widths=[5, 10, 20],
+                obs=Observability(),
+            )
         capacity_series = []
         for i, data in enumerate(datasets):
             name = f"f{i:03d}"
@@ -492,7 +504,10 @@ def fig11_macro(
             for i in range(min(n_advance * (len(chain) - step), n_files)):
                 fs.transcode(f"f{i:03d}", scheme)
             capacity_series.append(fs.capacity_used())
-        total_disk = fs.metrics.disk_bytes_total
+        registry = fs.obs.registry
+        total_disk = registry.value("dfs_disk_read_bytes") + registry.value(
+            "dfs_disk_write_bytes"
+        )
         n_disks = len(fs.cluster.nodes)
         per_node = fs.metrics.nodes
         datanode_cpu = sum(m.cpu_seconds for nid, m in per_node.items() if nid != "client")
@@ -501,11 +516,12 @@ def fig11_macro(
         for i, data in enumerate(datasets):
             assert np.array_equal(fs.read_file(f"f{i:03d}"), data)
         logical = float(sum(len(d) for d in datasets))
+        capacity_final = registry.value("dfs_capacity_bytes")
         return {
             "disk_total": total_disk,
-            "network_total": fs.metrics.net_bytes_total,
-            "capacity_final": fs.capacity_used(),
-            "capacity_overhead": fs.capacity_used() / logical,
+            "network_total": registry.value("dfs_net_bytes"),
+            "capacity_final": capacity_final,
+            "capacity_overhead": capacity_final / logical,
             "capacity_series": capacity_series,
             "client_cpu_s": client_cpu,
             "datanode_cpu_s": datanode_cpu,

@@ -138,19 +138,45 @@ class AnyOf(Event):
 
 
 class Resource:
-    """A FIFO resource with fixed capacity (e.g. a disk's service slots)."""
+    """A FIFO resource with fixed capacity (e.g. a disk's service slots).
 
-    def __init__(self, env: "Environment", capacity: int = 1):
+    When given a metrics ``registry``, every granted request records the
+    time it spent queued into a ``resource_wait_seconds`` histogram
+    labelled with the resource's ``name`` — the contention signal the
+    cluster report reads. Without a registry the accounting code never
+    runs (observability stays zero-cost when off).
+    """
+
+    def __init__(
+        self,
+        env: "Environment",
+        capacity: int = 1,
+        name: Optional[str] = None,
+        registry=None,
+    ):
         if capacity < 1:
             raise ValueError("capacity must be >= 1")
         self.env = env
         self.capacity = capacity
         self.in_use = 0
         self._waiters: List[Event] = []
+        self._wait_hist = (
+            registry.histogram("resource_wait_seconds", resource=name or "resource")
+            if registry is not None
+            else None
+        )
+
+    def _track_wait(self, ev: Event) -> None:
+        if self._wait_hist is None:
+            return
+        requested_at = self.env.now
+        hist = self._wait_hist
+        ev.callbacks.append(lambda _e: hist.record(self.env.now - requested_at))
 
     def request(self) -> Event:
         """Event that fires when a slot is granted."""
         ev = Event(self.env)
+        self._track_wait(ev)
         if self.in_use < self.capacity:
             self.in_use += 1
             ev.succeed()
@@ -177,13 +203,20 @@ class PriorityResource(Resource):
     serves user work first. Ties break FIFO.
     """
 
-    def __init__(self, env: "Environment", capacity: int = 1):
-        super().__init__(env, capacity)
+    def __init__(
+        self,
+        env: "Environment",
+        capacity: int = 1,
+        name: Optional[str] = None,
+        registry=None,
+    ):
+        super().__init__(env, capacity, name=name, registry=registry)
         self._pq: List = []  # (priority, seq, event)
         self._pq_seq = 0
 
     def request(self, priority: float = 0.0) -> Event:
         ev = Event(self.env)
+        self._track_wait(ev)
         if self.in_use < self.capacity:
             self.in_use += 1
             ev.succeed()

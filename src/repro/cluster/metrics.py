@@ -9,7 +9,21 @@ from __future__ import annotations
 
 from collections import defaultdict
 from dataclasses import dataclass, field
-from typing import Dict, List, Tuple
+from typing import Dict, List, NamedTuple
+
+
+class TimelineSample(NamedTuple):
+    """One metered IO event: when, how many bytes, and what kind.
+
+    ``tag`` distinguishes disk reads/writes/deletes from network
+    transfers (and lets instrumented call sites attach finer labels like
+    ``"ingest"`` or ``"repair"``), so throughput-over-time plots can
+    filter by flow instead of indexing blind.
+    """
+
+    at: float
+    nbytes: float
+    tag: str
 
 
 @dataclass
@@ -18,6 +32,7 @@ class NodeMetrics:
 
     disk_bytes_read: float = 0.0
     disk_bytes_written: float = 0.0
+    disk_bytes_deleted: float = 0.0
     net_bytes_in: float = 0.0
     net_bytes_out: float = 0.0
     cpu_seconds: float = 0.0
@@ -57,8 +72,9 @@ class IOMetrics:
     """Cluster-wide counters plus a per-node breakdown and a time series."""
 
     nodes: Dict[str, NodeMetrics] = field(default_factory=lambda: defaultdict(NodeMetrics))
-    #: (time, disk_bytes_delta) samples for throughput-over-time plots
-    timeline: List[Tuple[float, float, str]] = field(default_factory=list)
+    #: (at, nbytes, tag) samples — disk *and* network IO — for
+    #: throughput-over-time plots; filter by ``tag`` to split flows
+    timeline: List[TimelineSample] = field(default_factory=list)
     #: per-task-class maintenance accounting, recorded by the scheduler
     maintenance: Dict[str, MaintenanceClassMetrics] = field(
         default_factory=lambda: defaultdict(MaintenanceClassMetrics)
@@ -69,17 +85,25 @@ class IOMetrics:
 
     def record_disk_read(self, node_id: str, nbytes: float, at: float = 0.0, tag: str = "") -> None:
         self.nodes[node_id].disk_bytes_read += nbytes
-        self.timeline.append((at, nbytes, tag or "disk_read"))
+        self.timeline.append(TimelineSample(at, nbytes, tag or "disk_read"))
 
     def record_disk_write(self, node_id: str, nbytes: float, at: float = 0.0, tag: str = "") -> None:
         self.nodes[node_id].disk_bytes_written += nbytes
-        self.timeline.append((at, nbytes, tag or "disk_write"))
+        self.timeline.append(TimelineSample(at, nbytes, tag or "disk_write"))
 
-    def record_transfer(self, src: str, dst: str, nbytes: float) -> None:
+    def record_disk_delete(self, node_id: str, nbytes: float, at: float = 0.0, tag: str = "") -> None:
+        """Bytes freed from a node's disk (capacity leaves, no IO cost)."""
+        self.nodes[node_id].disk_bytes_deleted += nbytes
+        self.timeline.append(TimelineSample(at, nbytes, tag or "disk_delete"))
+
+    def record_transfer(
+        self, src: str, dst: str, nbytes: float, at: float = 0.0, tag: str = ""
+    ) -> None:
         if src == dst:
             return  # server-local: no network IO (parity co-location wins)
         self.nodes[src].net_bytes_out += nbytes
         self.nodes[dst].net_bytes_in += nbytes
+        self.timeline.append(TimelineSample(at, nbytes, tag or "net_transfer"))
 
     def record_cpu(self, node_id: str, seconds: float) -> None:
         self.nodes[node_id].cpu_seconds += seconds
@@ -117,6 +141,10 @@ class IOMetrics:
         return sum(m.disk_bytes_written for m in self.nodes.values())
 
     @property
+    def disk_bytes_deleted(self) -> float:
+        return sum(m.disk_bytes_deleted for m in self.nodes.values())
+
+    @property
     def disk_bytes_total(self) -> float:
         return self.disk_bytes_read + self.disk_bytes_written
 
@@ -130,13 +158,19 @@ class IOMetrics:
         return sum(m.cpu_seconds for m in self.nodes.values())
 
     def capacity_used(self) -> float:
-        """Bytes at rest = written minus deleted; maintained by the DFS."""
-        return self.disk_bytes_written  # overridden usage: DFS tracks deletes
+        """Bytes at rest = written minus deleted.
+
+        The DFS's own ``capacity_used`` sums datanode disk maps; the two
+        agree as long as every write and delete is metered (the DFS
+        asserts exactly that).
+        """
+        return self.disk_bytes_written - self.disk_bytes_deleted
 
     def summary(self) -> Dict[str, float]:
         return {
             "disk_read": self.disk_bytes_read,
             "disk_write": self.disk_bytes_written,
+            "disk_deleted": self.disk_bytes_deleted,
             "disk_total": self.disk_bytes_total,
             "network": self.net_bytes_total,
             "cpu_seconds": self.cpu_seconds_total,

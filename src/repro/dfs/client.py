@@ -101,7 +101,9 @@ class ClientReader:
             if not datanode.is_alive or not datanode.has_chunk(copy.chunk_id):
                 continue
             piece = datanode.read_range(copy.chunk_id, start, length, at=self.fs.clock)
-            self.fs.metrics.record_transfer(copy.node_id, self.CLIENT, float(length))
+            self.fs.metrics.record_transfer(
+                copy.node_id, self.CLIENT, float(length), at=self.fs.clock, tag="read"
+            )
             return piece
         return None
 
@@ -134,11 +136,13 @@ class ClientReader:
         datanode = self.fs.datanodes[chunk.node_id]
         if datanode.is_alive and datanode.has_chunk(chunk.chunk_id):
             data = datanode.read(chunk.chunk_id, at=self.fs.clock)
-            self.fs.metrics.record_transfer(chunk.node_id, self.CLIENT, float(data.nbytes))
+            self.fs.metrics.record_transfer(
+                chunk.node_id, self.CLIENT, float(data.nbytes), at=self.fs.clock, tag="read"
+            )
             if self.fs.checksums.verify(chunk.chunk_id, data):
                 return data
             # Verify-on-read (§6.1): a corrupt chunk is treated as missing.
-            datanode.delete(chunk.chunk_id)
+            datanode.delete(chunk.chunk_id, at=self.fs.clock)
         # Hybrid fast path for degraded reads: serve from a replica (§4.3).
         if meta.replica_blocks:
             block = self._block_covering(meta, chunk_index * meta.chunk_size)
@@ -151,6 +155,14 @@ class ClientReader:
 
     def _degraded_read(self, meta: FileMeta, stripe: ECStripeMeta, local: int) -> np.ndarray:
         """Decode a missing data chunk from k surviving stripe chunks."""
+        with self.fs.obs.span(
+            "degraded_read", file=meta.name, stripe=stripe.stripe_index
+        ):
+            return self._degraded_read_impl(meta, stripe, local)
+
+    def _degraded_read_impl(
+        self, meta: FileMeta, stripe: ECStripeMeta, local: int
+    ) -> np.ndarray:
         code = self.fs.codec_for_stripe(meta, stripe)
         chunks = stripe.all_chunks()
 
@@ -160,7 +172,11 @@ class ClientReader:
             if datanode.is_alive and datanode.has_chunk(chunk.chunk_id):
                 data = datanode.read(chunk.chunk_id, at=self.fs.clock)
                 self.fs.metrics.record_transfer(
-                    chunk.node_id, self.CLIENT, float(data.nbytes)
+                    chunk.node_id,
+                    self.CLIENT,
+                    float(data.nbytes),
+                    at=self.fs.clock,
+                    tag="degraded_read",
                 )
                 available[idx] = data
                 return True

@@ -40,7 +40,9 @@ class Datanode:
         self.is_alive = True
 
     # -- ingest ---------------------------------------------------------------
-    def receive_to_memory(self, chunk_id: str, data: np.ndarray, src: str) -> None:
+    def receive_to_memory(
+        self, chunk_id: str, data: np.ndarray, src: str, at: float = 0.0
+    ) -> None:
         """Absorb a chunk into the buffer cache (durable, no disk IO)."""
         data = np.asarray(data, dtype=np.uint8)
         in_use = self.metrics.node(self.node_id).memory_in_use_bytes
@@ -48,14 +50,14 @@ class Datanode:
             raise BufferCacheFullError(
                 f"{self.node_id}: buffer cache full ({in_use} + {data.nbytes})"
             )
-        self.metrics.record_transfer(src, self.node_id, data.nbytes)
+        self.metrics.record_transfer(src, self.node_id, data.nbytes, at=at)
         self.metrics.node(self.node_id).use_memory(data.nbytes)
         self._memory[chunk_id] = data.copy()
 
     def receive_to_disk(self, chunk_id: str, data: np.ndarray, src: str, at: float = 0.0) -> None:
         """Receive and write through to disk (one network + one disk write)."""
         data = np.asarray(data, dtype=np.uint8)
-        self.metrics.record_transfer(src, self.node_id, data.nbytes)
+        self.metrics.record_transfer(src, self.node_id, data.nbytes, at=at)
         self.metrics.record_disk_write(self.node_id, data.nbytes, at=at)
         self._disk[chunk_id] = data.copy()
 
@@ -117,8 +119,10 @@ class Datanode:
         self.metrics.record_cpu(self.node_id, seconds)
 
     # -- deletion / capacity ------------------------------------------------------
-    def delete(self, chunk_id: str) -> None:
-        self._disk.pop(chunk_id, None)
+    def delete(self, chunk_id: str, at: float = 0.0) -> None:
+        data = self._disk.pop(chunk_id, None)
+        if data is not None:
+            self.metrics.record_disk_delete(self.node_id, data.nbytes, at=at)
         self.drop_from_memory(chunk_id)
 
     def bytes_at_rest(self) -> float:

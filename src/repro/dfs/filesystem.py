@@ -15,12 +15,14 @@ transcode          client RRW                  native (ATQ/UTM, CC merges)
 
 from __future__ import annotations
 
+import math
 import zlib
 from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
 from repro.cluster.metrics import IOMetrics
+from repro.obs import NOOP_OBS, Observability
 from repro.cluster.placement import DefaultPlacement, TranscodeAwarePlacement
 from repro.cluster.topology import Cluster
 from repro.codes.convertible import ConvertibleCode
@@ -59,6 +61,7 @@ class _BaseDFS:
         chunk_size: int = 64 * 1024,
         replication_block_chunks: int = 8,
         seed: int = 0,
+        obs: Optional[Observability] = None,
     ):
         from repro.dfs.datanode import Datanode
 
@@ -83,6 +86,11 @@ class _BaseDFS:
         self.scheduler = MaintenanceScheduler(self)
         self.clock = 0.0
         self.seed = seed
+        #: observability sink — the default no-op sink never records, so
+        #: instrumented hot paths cost nothing when tracing is off
+        self.obs = obs or NOOP_OBS
+        if self.obs.enabled:
+            self.obs.attach_filesystem(self)
         self._cc_cache: Dict[Tuple[int, int], ConvertibleCode] = {}
         self._lrcc_cache: Dict[Tuple[int, int, int], LocallyRecoverableConvertibleCode] = {}
         self._codec_cache: Dict[ECScheme, object] = {}
@@ -147,17 +155,29 @@ class _BaseDFS:
         prefer_striped: bool = False,
     ) -> np.ndarray:
         meta = self.namenode.lookup(name)
-        return self.reader.read(meta, offset, length, prefer_striped=prefer_striped)
+        with self.obs.span("read", file=name):
+            return self.reader.read(meta, offset, length, prefer_striped=prefer_striped)
 
     def delete_file(self, name: str) -> None:
         meta = self.namenode.unregister_file(name)
         for chunk in meta.all_chunks():
-            self.datanodes[chunk.node_id].delete(chunk.chunk_id)
+            self.datanodes[chunk.node_id].delete(chunk.chunk_id, at=self.clock)
             self.checksums.forget(chunk.chunk_id)
 
     def capacity_used(self) -> float:
-        """Bytes at rest across all datanode disks."""
-        return sum(dn.bytes_at_rest() for dn in self.datanodes.values())
+        """Bytes at rest across all datanode disks.
+
+        Also cross-checks the metrics ledger: every disk write and delete
+        is metered, so ``IOMetrics.capacity_used()`` (written − deleted)
+        must agree with the physical chunk maps.
+        """
+        physical = sum(dn.bytes_at_rest() for dn in self.datanodes.values())
+        ledger = self.metrics.capacity_used()
+        assert math.isclose(physical, ledger, rel_tol=1e-9, abs_tol=1.0), (
+            f"capacity ledger drift: datanode disks hold {physical} bytes "
+            f"but metrics say {ledger} (written - deleted)"
+        )
+        return physical
 
     def memory_used(self) -> float:
         return sum(dn.memory_bytes() for dn in self.datanodes.values())
@@ -311,18 +331,20 @@ class BaselineDFS(_BaseDFS):
         meta = FileMeta(
             name=name, size=len(data), chunk_size=self.chunk_size, scheme=scheme
         )
-        if isinstance(scheme, Replication):
-            self._write_replicated(meta, data, scheme.copies)
-        elif isinstance(scheme, ECScheme):
-            self._write_ec(meta, data, scheme)
-        else:
-            raise ValueError(f"BaselineDFS does not support {scheme}")
+        with self.obs.span("ingest", file=name, nbytes=len(data)):
+            if isinstance(scheme, Replication):
+                self._write_replicated(meta, data, scheme.copies)
+            elif isinstance(scheme, ECScheme):
+                self._write_ec(meta, data, scheme)
+            else:
+                raise ValueError(f"BaselineDFS does not support {scheme}")
         self.namenode.register_file(meta)
         return meta
 
     def transcode(self, name: str, target: RedundancyScheme) -> FileMeta:
         """RRW: read the file, rewrite it under the target scheme."""
-        return RRWTranscoder(self).transcode(name, target)
+        with self.obs.span("transcode_request", file=name):
+            return RRWTranscoder(self).transcode(name, target)
 
 
 class MorphFS(AppendSupport, _BaseDFS):
@@ -339,8 +361,9 @@ class MorphFS(AppendSupport, _BaseDFS):
         transcode_aware: bool = True,
         parity_mode: str = "async",
         spanning_protocol: bool = False,
+        obs: Optional[Observability] = None,
     ):
-        super().__init__(cluster, chunk_size, replication_block_chunks, seed)
+        super().__init__(cluster, chunk_size, replication_block_chunks, seed, obs=obs)
         self.future_widths = list(future_widths or [])
         self.max_parities = max_parities
         #: ablation switch: False disables k*-window planning and parity
@@ -392,14 +415,15 @@ class MorphFS(AppendSupport, _BaseDFS):
         meta = FileMeta(
             name=name, size=len(data), chunk_size=self.chunk_size, scheme=scheme
         )
-        if isinstance(scheme, HybridScheme):
-            self._write_hybrid(meta, data, scheme)
-        elif isinstance(scheme, ECScheme):
-            self._write_ec_planned(meta, data, scheme)
-        elif isinstance(scheme, Replication):
-            self._write_replicated(meta, data, scheme.copies)
-        else:
-            raise ValueError(f"unsupported scheme {scheme}")
+        with self.obs.span("ingest", file=name, nbytes=len(data)):
+            if isinstance(scheme, HybridScheme):
+                self._write_hybrid(meta, data, scheme)
+            elif isinstance(scheme, ECScheme):
+                self._write_ec_planned(meta, data, scheme)
+            elif isinstance(scheme, Replication):
+                self._write_replicated(meta, data, scheme.copies)
+            else:
+                raise ValueError(f"unsupported scheme {scheme}")
         self.namenode.register_file(meta)
         return meta
 
@@ -502,6 +526,12 @@ class MorphFS(AppendSupport, _BaseDFS):
     # -- native transcode ----------------------------------------------------------
     def transcode(self, name: str, target: RedundancyScheme, heartbeats: bool = True) -> FileMeta:
         """Native transcode (§6.2): plan, enqueue, execute, atomic switch."""
+        with self.obs.span("transcode_request", file=name):
+            return self._transcode_impl(name, target, heartbeats)
+
+    def _transcode_impl(
+        self, name: str, target: RedundancyScheme, heartbeats: bool = True
+    ) -> FileMeta:
         meta = self.namenode.lookup(name)
         step = self.planner.plan(meta.scheme, target)
         if step.kind is TranscodeKind.FREE:
@@ -580,7 +610,7 @@ class MorphFS(AppendSupport, _BaseDFS):
                     self._seal_stripe(meta, stripe, ec)
         for block in meta.replica_blocks:
             for copy in block.copies:
-                self.datanodes[copy.node_id].delete(copy.chunk_id)
+                self.datanodes[copy.node_id].delete(copy.chunk_id, at=self.clock)
                 self.checksums.forget(copy.chunk_id)
         meta.replica_blocks = []
         meta.scheme = target

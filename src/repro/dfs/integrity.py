@@ -82,6 +82,10 @@ class Scrubber:
                 yield meta, chunk
 
     def scan(self) -> ScrubReport:
+        with self.fs.obs.span("scrub"):
+            return self._scan_impl()
+
+    def _scan_impl(self) -> ScrubReport:
         report = ScrubReport()
         registry = self.fs.checksums
         for meta, chunk in self._iter_chunks():
@@ -92,7 +96,7 @@ class Scrubber:
             data = datanode.read(chunk.chunk_id, at=self.fs.clock)
             if not registry.verify(chunk.chunk_id, data):
                 report.corrupt.append((meta.name, chunk.chunk_id))
-                datanode.delete(chunk.chunk_id)  # quarantine
+                datanode.delete(chunk.chunk_id, at=self.fs.clock)  # quarantine
         return report
 
     def scan_and_repair(self) -> ScrubReport:

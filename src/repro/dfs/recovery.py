@@ -56,6 +56,10 @@ class RecoveryManager:
     # -- reconstruction ------------------------------------------------------------
     def recover_chunk(self, meta: FileMeta, chunk: ChunkMeta) -> str:
         """Rebuild one chunk on a fresh node; returns the new node id."""
+        with self.fs.obs.span("repair", file=meta.name, kind=chunk.kind.name):
+            return self._recover_chunk_impl(meta, chunk)
+
+    def _recover_chunk_impl(self, meta: FileMeta, chunk: ChunkMeta) -> str:
         target = self._pick_target(meta, chunk)
         if chunk.kind is ChunkKind.REPLICA:
             data = self._rebuild_replica(meta, chunk, target)
@@ -87,7 +91,9 @@ class RecoveryManager:
         if not datanode.is_alive or not datanode.has_chunk(src.chunk_id):
             return None
         data = datanode.read(src.chunk_id, at=self.fs.clock)
-        self.fs.metrics.record_transfer(src.node_id, target, float(data.nbytes))
+        self.fs.metrics.record_transfer(
+            src.node_id, target, float(data.nbytes), at=self.fs.clock, tag="repair"
+        )
         return data
 
     def _stripe_and_block(self, meta: FileMeta, chunk: ChunkMeta):
@@ -161,7 +167,11 @@ class RecoveryManager:
                             copy.chunk_id, start, meta.chunk_size, at=self.fs.clock
                         )
                         self.fs.metrics.record_transfer(
-                            copy.node_id, target, float(meta.chunk_size)
+                            copy.node_id,
+                            target,
+                            float(meta.chunk_size),
+                            at=self.fs.clock,
+                            tag="repair",
                         )
                         out = np.zeros(meta.chunk_size, dtype=np.uint8)
                         out[: len(data)] = data

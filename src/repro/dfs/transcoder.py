@@ -77,6 +77,12 @@ class NativeTranscoder:
 
     # -- group execution ----------------------------------------------------------
     def execute_group(self, group: ConversionGroup) -> None:
+        with self.fs.obs.span(
+            "transcode", file=group.file_name, group=group.group_index
+        ):
+            self._execute_group_impl(group)
+
+    def _execute_group_impl(self, group: ConversionGroup) -> None:
         meta = self.fs.namenode.lookup(group.file_name)
         target = group.target_scheme
         ec = target.ec if hasattr(target, "ec") else target
@@ -113,7 +119,9 @@ class NativeTranscoder:
             stripes[stripe_i].chunks[local] = data
             # Every parity-computing node combines this chunk.
             for node in set(parity_targets.values()):
-                self.fs.metrics.record_transfer(chunk.node_id, node, float(data.nbytes))
+                self.fs.metrics.record_transfer(
+                    chunk.node_id, node, float(data.nbytes), at=self.fs.clock, tag="transcode"
+                )
         for (i, j) in sorted(parity_reads):
             chunk = stripe_metas[i].parities[j]
             data = self._read_or_reconstruct(
@@ -122,7 +130,9 @@ class NativeTranscoder:
             stripes[i].chunks[stripe_metas[i].k + j] = data
             target_node = parity_targets.get(j)
             if target_node is not None:
-                self.fs.metrics.record_transfer(chunk.node_id, target_node, float(data.nbytes))
+                self.fs.metrics.record_transfer(
+                    chunk.node_id, target_node, float(data.nbytes), at=self.fs.clock, tag="transcode"
+                )
         return stripes
 
     def _read_or_reconstruct(
@@ -283,14 +293,22 @@ class NativeTranscoder:
                 chunks.append(padded)
                 for node in set(targets.values()):
                     self.fs.metrics.record_transfer(
-                        chunk.node_id, node, float(chunk_size - tail_start)
+                        chunk.node_id,
+                        node,
+                        float(chunk_size - tail_start),
+                        at=self.fs.clock,
+                        tag="transcode",
                     )
             for j, parity in enumerate(sm.parities):
                 dn = self.fs.datanodes[parity.node_id]
                 data = dn.read(parity.chunk_id, at=self.fs.clock)
                 chunks.append(data)
                 self.fs.metrics.record_transfer(
-                    parity.node_id, targets.get(j, targets[0]), float(data.nbytes)
+                    parity.node_id,
+                    targets.get(j, targets[0]),
+                    float(data.nbytes),
+                    at=self.fs.clock,
+                    tag="transcode",
                 )
             stripes.append(Stripe(sm.k, sm.n, chunks))
         merged, _io = bwo.convert_merge(stripes, final)

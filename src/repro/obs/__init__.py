@@ -1,0 +1,57 @@
+"""repro.obs — the cluster observability layer.
+
+Spans (:mod:`repro.obs.tracer`), a metrics registry with counters,
+gauges and log-linear histograms (:mod:`repro.obs.registry`,
+:mod:`repro.obs.histogram`), Prometheus/JSON exporters
+(:mod:`repro.obs.exporters`) and the ``python -m repro report`` cluster
+health summary (:mod:`repro.obs.report`).
+
+Entry point: pass an :class:`Observability` to a DFS —
+
+    obs = Observability()
+    fs = MorphFS(obs=obs)
+    ...
+    print(to_prometheus(obs.registry))
+
+The default everywhere is :data:`NOOP_OBS`; tracing and registry work
+cost nothing unless a caller opts in.
+"""
+
+from repro.obs.core import (
+    NOOP_OBS,
+    CostModelClock,
+    NoopObservability,
+    Observability,
+)
+from repro.obs.exporters import (
+    from_json,
+    parse_prometheus,
+    round_trip_ok,
+    to_json,
+    to_prometheus,
+)
+from repro.obs.histogram import LogLinearHistogram, exact_percentile
+from repro.obs.registry import Counter, Gauge, MetricsRegistry, Sample
+from repro.obs.tracer import NOOP_TRACER, NoopTracer, Span, Tracer
+
+__all__ = [
+    "NOOP_OBS",
+    "NOOP_TRACER",
+    "CostModelClock",
+    "Counter",
+    "Gauge",
+    "LogLinearHistogram",
+    "MetricsRegistry",
+    "NoopObservability",
+    "NoopTracer",
+    "Observability",
+    "Sample",
+    "Span",
+    "Tracer",
+    "exact_percentile",
+    "from_json",
+    "parse_prometheus",
+    "round_trip_ok",
+    "to_json",
+    "to_prometheus",
+]

@@ -1,0 +1,163 @@
+"""The observability handle a filesystem (or simulation) carries.
+
+``Observability`` bundles one :class:`MetricsRegistry` and one
+:class:`Tracer` behind a single object the instrumented code can hold.
+The default on every DFS is :data:`NOOP_OBS` — a disabled singleton
+whose ``span()`` returns a shared inert context manager — so
+instrumentation costs nothing unless a caller opts in by passing a real
+``Observability`` instance.
+
+``attach_filesystem`` turns the registry into a *view* over the DFS's
+:class:`~repro.cluster.metrics.IOMetrics` ledger: cluster-wide and
+per-node IO counters, maintenance-class accounting and capacity are
+exposed as collector-backed series that read the live counters at
+collect time. Benchmarks that report through the registry therefore
+cannot drift from the telemetry — both read the same cells.
+
+When no explicit clock is given the filesystem attach installs a
+:class:`CostModelClock`: modeled elapsed seconds derived from the IO
+ledger and the hardware bandwidth models, monotone because the counters
+only grow. Span durations then measure the modeled cost of exactly the
+bytes and CPU the operation moved.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterable, Optional, Tuple
+
+from repro.obs.registry import COUNTER, GAUGE, MetricsRegistry
+from repro.obs.tracer import NOOP_TRACER, Span, Tracer
+
+MB = 1024 * 1024
+
+#: (attribute on NodeMetrics aggregate, exported metric name)
+_CLUSTER_SERIES = (
+    ("disk_bytes_read", "dfs_disk_read_bytes"),
+    ("disk_bytes_written", "dfs_disk_write_bytes"),
+    ("disk_bytes_deleted", "dfs_disk_deleted_bytes"),
+    ("net_bytes_total", "dfs_net_bytes"),
+    ("cpu_seconds_total", "dfs_cpu_seconds"),
+)
+
+_NODE_SERIES = (
+    ("disk_bytes_read", "dfs_node_disk_read_bytes"),
+    ("disk_bytes_written", "dfs_node_disk_write_bytes"),
+    ("net_bytes_in", "dfs_node_net_in_bytes"),
+    ("net_bytes_out", "dfs_node_net_out_bytes"),
+)
+
+_MAINTENANCE_SERIES = (
+    ("disk_bytes", "dfs_maintenance_disk_bytes"),
+    ("net_bytes", "dfs_maintenance_net_bytes"),
+    ("cpu_seconds", "dfs_maintenance_cpu_seconds"),
+    ("tasks_completed", "dfs_maintenance_tasks_completed"),
+    ("tasks_failed", "dfs_maintenance_tasks_failed"),
+    ("tasks_dead_lettered", "dfs_maintenance_tasks_dead_lettered"),
+)
+
+
+class CostModelClock:
+    """Modeled cluster-seconds read off the IO ledger.
+
+    Elapsed time is the serial cost of everything metered so far: disk
+    bytes at disk bandwidth, network bytes at NIC bandwidth, plus CPU
+    seconds. It is not wall time and not a critical-path estimate — it
+    is a deterministic, strictly non-decreasing cost odometer, which is
+    exactly what span durations need: the delta across an operation is
+    the modeled cost of what that operation moved.
+    """
+
+    def __init__(
+        self,
+        metrics,
+        disk_mb_s: float = 120.0,
+        net_mb_s: float = 4500.0,
+    ):
+        self.metrics = metrics
+        self.disk_bytes_per_s = disk_mb_s * MB
+        self.net_bytes_per_s = net_mb_s * MB
+
+    def __call__(self) -> float:
+        m = self.metrics
+        return (
+            m.disk_bytes_total / self.disk_bytes_per_s
+            + m.net_bytes_total / self.net_bytes_per_s
+            + m.cpu_seconds_total
+        )
+
+
+class Observability:
+    """Enabled observability: a live registry plus a recording tracer."""
+
+    enabled = True
+
+    def __init__(
+        self,
+        clock: Optional[Callable[[], float]] = None,
+        registry: Optional[MetricsRegistry] = None,
+    ):
+        self.registry = registry or MetricsRegistry()
+        self.tracer = Tracer(clock, self.registry)
+        self._clock_explicit = clock is not None
+
+    # -- tracing -------------------------------------------------------------
+    def span(self, name: str, **attrs) -> Span:
+        return self.tracer.span(name, **attrs)
+
+    def set_clock(self, clock: Callable[[], float]) -> None:
+        self.tracer.clock = clock
+        self._clock_explicit = True
+
+    # -- wiring --------------------------------------------------------------
+    def attach_filesystem(self, fs) -> "Observability":
+        """Expose a DFS's IOMetrics ledger through the registry."""
+        if not self._clock_explicit:
+            disk_mb_s = getattr(
+                getattr(fs.cluster.spec, "disk", None), "bandwidth_mb_s", 120.0
+            )
+            net_mb_s = getattr(
+                getattr(fs.cluster.spec, "network", None), "bandwidth_mb_s", 4500.0
+            )
+            self.set_clock(CostModelClock(fs.metrics, disk_mb_s, net_mb_s))
+        self.attach_metrics(fs.metrics, capacity_fn=fs.capacity_used)
+        return self
+
+    def attach_metrics(self, metrics, capacity_fn=None) -> "Observability":
+        """Collector-backed series over an IOMetrics ledger."""
+        capacity = capacity_fn or metrics.capacity_used
+
+        def collect() -> Iterable[Tuple[str, str, dict, float]]:
+            for attr, name in _CLUSTER_SERIES:
+                yield name, COUNTER, {}, getattr(metrics, attr)
+            yield "dfs_capacity_bytes", GAUGE, {}, capacity()
+            for node_id in sorted(metrics.nodes):
+                node = metrics.nodes[node_id]
+                for attr, name in _NODE_SERIES:
+                    yield name, COUNTER, {"node": node_id}, getattr(node, attr)
+            for klass in sorted(metrics.maintenance):
+                m = metrics.maintenance[klass]
+                for attr, name in _MAINTENANCE_SERIES:
+                    yield name, COUNTER, {"klass": klass}, getattr(m, attr)
+
+        self.registry.add_collector(collect)
+        return self
+
+
+class NoopObservability:
+    """Disabled observability: shared, inert, allocation-free."""
+
+    enabled = False
+    registry = None
+    tracer = NOOP_TRACER
+
+    def span(self, name: str, **attrs):
+        return NOOP_TRACER.span(name)
+
+    def attach_filesystem(self, fs) -> "NoopObservability":
+        return self
+
+    def attach_metrics(self, metrics, capacity_fn=None) -> "NoopObservability":
+        return self
+
+
+NOOP_OBS = NoopObservability()

@@ -1,0 +1,138 @@
+"""Exporters: Prometheus text format and JSON, with round-trip loading.
+
+``to_prometheus`` renders the registry in the Prometheus exposition
+format (counters/gauges as single samples, histograms as cumulative
+``_bucket{le=...}`` series plus ``_sum``/``_count``). ``to_json``
+serialises the full registry — including the histogram bucket maps, so
+percentiles survive — and ``from_json`` reconstructs a registry from it.
+``parse_prometheus`` reads scalar samples back out of the text format.
+The selftest in ``python -m repro report --selftest`` round-trips a live
+registry through both formats and asserts the values agree.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Dict
+
+from repro.obs.histogram import LogLinearHistogram
+from repro.obs.registry import COUNTER, GAUGE, HISTOGRAM, MetricsRegistry
+
+
+def _fmt_labels(labels, extra: str = "") -> str:
+    parts = [f'{k}="{v}"' for k, v in labels]
+    if extra:
+        parts.append(extra)
+    return "{" + ",".join(parts) + "}" if parts else ""
+
+
+def _fmt_value(value: float) -> str:
+    return repr(float(value))
+
+
+def to_prometheus(registry: MetricsRegistry) -> str:
+    """Render every series in the Prometheus text exposition format."""
+    lines = []
+    seen_type: Dict[str, bool] = {}
+    for sample in registry.collect():
+        if sample.name not in seen_type:
+            seen_type[sample.name] = True
+            lines.append(f"# TYPE {sample.name} {sample.kind}")
+        if sample.kind == HISTOGRAM:
+            hist = sample.hist
+            cumulative = 0
+            for upper, count in hist.bucket_bounds():
+                cumulative += count
+                le = 'le="%s"' % _fmt_value(upper)
+                labelled = _fmt_labels(sample.labels, le)
+                lines.append(f"{sample.name}_bucket{labelled} {cumulative}")
+            inf_labels = _fmt_labels(sample.labels, 'le="+Inf"')
+            lines.append(f"{sample.name}_bucket{inf_labels} {hist.count}")
+            lines.append(
+                f"{sample.name}_sum{_fmt_labels(sample.labels)} {_fmt_value(hist.sum)}"
+            )
+            lines.append(
+                f"{sample.name}_count{_fmt_labels(sample.labels)} {hist.count}"
+            )
+        else:
+            lines.append(
+                f"{sample.name}{_fmt_labels(sample.labels)} {_fmt_value(sample.value)}"
+            )
+    return "\n".join(lines) + "\n"
+
+
+def parse_prometheus(text: str) -> Dict[str, float]:
+    """Scalar samples from the text format: ``name{labels}`` -> value."""
+    out: Dict[str, float] = {}
+    for line in text.splitlines():
+        line = line.strip()
+        if not line or line.startswith("#"):
+            continue
+        series, value = line.rsplit(" ", 1)
+        out[series] = float(value)
+    return out
+
+
+def to_json(registry: MetricsRegistry) -> str:
+    """Serialise the registry, histograms included, as stable JSON."""
+    metrics = []
+    for sample in registry.collect():
+        entry = {
+            "name": sample.name,
+            "kind": sample.kind,
+            "labels": dict(sample.labels),
+        }
+        if sample.kind == HISTOGRAM:
+            entry["histogram"] = sample.hist.to_dict()
+        else:
+            entry["value"] = sample.value
+        metrics.append(entry)
+    return json.dumps({"metrics": metrics}, indent=2, sort_keys=True)
+
+
+def from_json(text: str) -> MetricsRegistry:
+    """Rebuild a registry from ``to_json`` output.
+
+    Collector-backed gauges come back as plain gauges frozen at their
+    exported value — the export is a snapshot, not a live view.
+    """
+    payload = json.loads(text)
+    registry = MetricsRegistry()
+    for entry in payload["metrics"]:
+        name, labels = entry["name"], entry["labels"]
+        if entry["kind"] == HISTOGRAM:
+            hist = LogLinearHistogram.from_dict(entry["histogram"])
+            key = registry.histogram(
+                name, subbuckets_per_octave=hist.subbuckets, **labels
+            )
+            key.merge(hist)
+        elif entry["kind"] == COUNTER:
+            registry.counter(name, **labels).inc(entry["value"])
+        elif entry["kind"] == GAUGE:
+            registry.gauge(name, **labels).set(entry["value"])
+        else:
+            raise ValueError(f"unknown metric kind {entry['kind']!r}")
+    return registry
+
+
+def _scalar_samples(registry: MetricsRegistry) -> Dict:
+    out = {}
+    for sample in registry.collect():
+        if sample.kind == HISTOGRAM:
+            out[(sample.name, sample.labels, "count")] = sample.hist.count
+            out[(sample.name, sample.labels, "sum")] = sample.hist.sum
+            for p in (50.0, 95.0, 99.0):
+                out[(sample.name, sample.labels, p)] = sample.hist.percentile(p)
+        else:
+            out[(sample.name, sample.labels, "value")] = sample.value
+    return out
+
+
+def round_trip_ok(registry: MetricsRegistry) -> bool:
+    """True when JSON and Prometheus exports carry identical values."""
+    reloaded = from_json(to_json(registry))
+    if _scalar_samples(registry) != _scalar_samples(reloaded):
+        return False
+    return parse_prometheus(to_prometheus(registry)) == parse_prometheus(
+        to_prometheus(reloaded)
+    )

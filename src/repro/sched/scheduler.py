@@ -24,6 +24,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Tuple
 
+from repro.obs import NOOP_OBS
 from repro.sched.budget import BudgetManager
 from repro.sched.policies import SchedulerPolicy, backoff_ticks
 from repro.sched.queue import PriorityTaskQueue
@@ -83,8 +84,33 @@ class MaintenanceScheduler:
     def _metrics(self):
         return getattr(self.fs, "metrics", None)
 
+    def _obs(self):
+        return getattr(self.fs, "obs", None) or NOOP_OBS
+
     # -- the tick -------------------------------------------------------------
     def run_tick(self) -> SchedulerTickReport:
+        obs = self._obs()
+        with obs.span("sched_tick", tick=self.tick_count + 1):
+            report = self._run_tick_impl()
+        if obs.enabled and obs.registry is not None:
+            reg = obs.registry
+            reg.counter("sched_ticks_total").inc()
+            reg.gauge("sched_queue_depth").set(len(self.queue))
+            if report.executed:
+                reg.counter("sched_tasks_executed_total").inc(len(report.executed))
+            if report.failed:
+                reg.counter("sched_tasks_failed_total").inc(len(report.failed))
+            if report.dead_lettered:
+                reg.counter("sched_tasks_dead_lettered_total").inc(
+                    len(report.dead_lettered)
+                )
+            if report.deferred_budget:
+                reg.counter("sched_tasks_deferred_budget_total").inc(
+                    report.deferred_budget
+                )
+        return report
+
+    def _run_tick_impl(self) -> SchedulerTickReport:
         self.tick_count += 1
         self.budgets.refill_all()
         report = SchedulerTickReport(tick=self.tick_count)
@@ -196,7 +222,8 @@ class MaintenanceScheduler:
     def _execute(self, task: MaintenanceTask, report: SchedulerTickReport) -> None:
         before = self._snapshot()
         try:
-            task.result = task.execute(self.fs)
+            with self._obs().span("maintenance_task", klass=str(task.klass)):
+                task.result = task.execute(self.fs)
         except Exception as exc:  # noqa: BLE001 — any task failure retries
             task.attempts += 1
             task.last_error = exc

@@ -26,7 +26,11 @@ class TestFreeTransition:
         before = fs.metrics.summary()
         fs.transcode("f", CC69)
         after = fs.metrics.summary()
-        assert before == after  # literally no IO
+        io_keys = ("disk_read", "disk_write", "disk_total", "network", "cpu_seconds")
+        for key in io_keys:
+            assert after[key] == before[key]  # literally no IO
+        # Deletion is ledger movement, not IO: the replicas leave disk.
+        assert after["disk_deleted"] - before["disk_deleted"] == pytest.approx(len(data))
 
     def test_capacity_drops_by_replica(self):
         fs, data = morph_with_file()
