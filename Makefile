@@ -3,7 +3,7 @@
 PYTHON ?= python
 export PYTHONPATH := src
 
-.PHONY: install test bench figures examples all clean
+.PHONY: install test bench bench-suite figures examples all clean
 
 install:
 	pip install -e .
@@ -12,6 +12,9 @@ test:
 	$(PYTHON) -m pytest tests/
 
 bench:
+	$(PYTHON) -m repro bench
+
+bench-suite:
 	$(PYTHON) -m pytest benchmarks/ --benchmark-only -s
 
 figures:
@@ -24,7 +27,7 @@ examples:
 	$(PYTHON) examples/fault_tolerance_demo.py
 	$(PYTHON) examples/cluster_lifetime_sim.py
 
-all: test bench
+all: test bench-suite
 
 clean:
 	find . -name __pycache__ -type d -exec rm -rf {} +

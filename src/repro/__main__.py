@@ -8,6 +8,8 @@ Usage::
     python -m repro all                  # everything (takes a while)
     python -m repro report               # cluster health report (obs demo)
     python -m repro report --selftest    # verify observability invariants
+    python -m repro bench                # codec perf -> BENCH_codec.json
+    python -m repro bench --quick --check  # CI schema smoke, no overwrite
 """
 
 from __future__ import annotations
@@ -197,10 +199,14 @@ def main(argv=None) -> int:
         print("experiments:", " ".join(COMMANDS), "report")
         return 0
     if args[0] == "report":
-        # The one subcommand that takes its own flags.
+        # Subcommands that take their own flags.
         from repro.obs.report import main as report_main
 
         return report_main(args[1:])
+    if args[0] == "bench":
+        from repro.bench.micro import main as bench_main
+
+        return bench_main(args[1:])
     targets = list(COMMANDS) if args == ["all"] else args
     unknown = [t for t in targets if t not in COMMANDS]
     if unknown:

@@ -1,0 +1,280 @@
+"""Codec microbenchmarks — the repo's perf trajectory, one JSON per PR.
+
+``python -m repro bench`` measures encode/decode/transcode throughput for
+representative (k, n) points in both fields plus the event-engine rate,
+and writes ``BENCH_codec.json`` at the repo root in a stable schema::
+
+    {
+      "schema": "repro-bench/1",
+      "quick": false,
+      "metrics": {
+        "<name>": {"value": 123.4, "unit": "MB/s", "params": {...}},
+        ...
+      }
+    }
+
+The file is committed each PR so the perf trajectory lives in git history
+(``git log -p BENCH_codec.json``). Values are wall-clock and therefore
+machine-dependent; the trajectory is meaningful within one machine
+generation, the *schema* is what CI checks.
+
+``--quick`` shrinks chunk sizes and repeat counts (for CI); ``--check``
+validates the committed file's schema against the current metric set
+without overwriting it — no performance assertions, so CI never goes red
+on a slow runner.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+from pathlib import Path
+from typing import Callable, Dict, List, Optional
+
+import numpy as np
+
+SCHEMA = "repro-bench/1"
+
+#: Default output path: repo root (three levels up from this file when
+#: running from a checkout); falls back to the CWD for installed copies.
+def default_output() -> Path:
+    here = Path(__file__).resolve()
+    for parent in here.parents:
+        if (parent / "ROADMAP.md").exists() or (parent / ".git").exists():
+            return parent / "BENCH_codec.json"
+    return Path.cwd() / "BENCH_codec.json"
+
+
+def _best_seconds(fn: Callable[[], None], repeats: int, warmup: int = 2) -> float:
+    """Best-of-N wall seconds for one call of ``fn`` (min is the most
+    repeatable point statistic for a throughput benchmark)."""
+    for _ in range(warmup):
+        fn()
+    best = float("inf")
+    for _ in range(repeats):
+        t0 = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - t0)
+    return best
+
+
+def _metric(value: float, unit: str, **params) -> Dict:
+    return {"value": round(float(value), 3), "unit": unit, "params": params}
+
+
+def _chunks(k: int, chunk_bytes: int, seed: int) -> List[np.ndarray]:
+    rng = np.random.default_rng(seed)
+    return [rng.integers(0, 256, size=chunk_bytes, dtype=np.uint8) for _ in range(k)]
+
+
+# -- individual benchmarks ---------------------------------------------------
+def bench_gf256_encode(chunk_bytes: int, repeats: int) -> Dict[str, Dict]:
+    from repro.codes.rs import ReedSolomon
+
+    k, n = 6, 9
+    code = ReedSolomon(k, n)
+    data = _chunks(k, chunk_bytes, seed=1)
+    nbytes = k * chunk_bytes
+
+    fast = _best_seconds(lambda: code.encode(data), repeats)
+
+    from repro.gf.matrix import gf_matmul_reference
+
+    stacked = np.stack(data)
+    parity_rows = code.generator[k:]
+    ref = _best_seconds(lambda: gf_matmul_reference(parity_rows, stacked), repeats)
+
+    params = {"k": k, "n": n, "chunk_bytes": chunk_bytes}
+    return {
+        "gf256_encode_mb_s": _metric(nbytes / fast / 1e6, "MB/s", **params),
+        "gf256_encode_reference_mb_s": _metric(nbytes / ref / 1e6, "MB/s", **params),
+    }
+
+
+def bench_gf256_decode(chunk_bytes: int, repeats: int) -> Dict[str, Dict]:
+    from repro.codes.rs import ReedSolomon
+
+    k, n = 6, 9
+    code = ReedSolomon(k, n)
+    data = _chunks(k, chunk_bytes, seed=2)
+    stripe = code.encode_stripe(data)
+    erased = [0, 3, 7]  # two data chunks + one parity
+    available = {
+        i: c for i, c in enumerate(stripe.chunks) if i not in erased
+    }
+    nbytes = len(erased) * chunk_bytes
+    secs = _best_seconds(lambda: code.decode(available, erased), repeats)
+    return {
+        "gf256_decode_mb_s": _metric(
+            nbytes / secs / 1e6, "MB/s", k=k, n=n,
+            chunk_bytes=chunk_bytes, erased=len(erased),
+        )
+    }
+
+
+def bench_gf256_transcode(chunk_bytes: int, repeats: int) -> Dict[str, Dict]:
+    """Access-optimal CC merge: 2 x CC(6,9) -> CC(12,15)."""
+    from repro.codes.convertible import ConvertibleCode, convert, plan_conversion
+
+    initial = ConvertibleCode(6, 9)
+    final = ConvertibleCode(12, 15)
+    stripes = [
+        initial.encode_stripe(_chunks(6, chunk_bytes, seed=10 + i)) for i in range(2)
+    ]
+    plan = plan_conversion(initial, final, len(stripes))
+    # Throughput denominator: logical data governed by the conversion.
+    nbytes = final.k * chunk_bytes
+    secs = _best_seconds(
+        lambda: convert(initial, final, stripes, plan), repeats
+    )
+    return {
+        "gf256_transcode_mb_s": _metric(
+            nbytes / secs / 1e6, "MB/s",
+            initial="CC(6,9)", final="CC(12,15)", chunk_bytes=chunk_bytes,
+        )
+    }
+
+
+def bench_gf16_wide(chunk_bytes: int, repeats: int) -> Dict[str, Dict]:
+    from repro.codes.wide import WideConvertibleCode
+
+    k, n = 17, 20
+    code = WideConvertibleCode(k, n)
+    data = _chunks(k, chunk_bytes, seed=3)
+    nbytes = k * chunk_bytes
+    enc = _best_seconds(lambda: code.encode(data), repeats)
+
+    parities = code.encode(data)
+    chunks = data + parities
+    erased = [0, 9, 18]
+    available = {i: c for i, c in enumerate(chunks) if i not in erased}
+    dec_bytes = len(erased) * chunk_bytes
+    dec = _best_seconds(lambda: code.decode(available, erased), repeats)
+
+    params = {"k": k, "n": n, "chunk_bytes": chunk_bytes}
+    return {
+        "gf16_wide_encode_mb_s": _metric(nbytes / enc / 1e6, "MB/s", **params),
+        "gf16_wide_decode_mb_s": _metric(
+            dec_bytes / dec / 1e6, "MB/s", erased=len(erased), **params
+        ),
+    }
+
+
+def bench_event_engine(n_events: int, repeats: int) -> Dict[str, Dict]:
+    from repro.cluster.engine import Environment
+
+    def run_once() -> None:
+        env = Environment()
+
+        def ticker(env, count):
+            for _ in range(count):
+                yield env.timeout(1.0)
+
+        # A handful of interleaved processes exercises the heap the way
+        # the latency experiments do (not one giant timeout chain).
+        per = max(1, n_events // 8)
+        for _ in range(8):
+            env.process(ticker(env, per))
+        env.run()
+
+    secs = _best_seconds(run_once, repeats)
+    total = 8 * max(1, n_events // 8)
+    return {
+        "event_engine_events_per_s": _metric(
+            total / secs, "events/s", events=total, processes=8
+        )
+    }
+
+
+def run_benchmarks(quick: bool = False) -> Dict[str, Dict]:
+    """All benchmark metrics, in a deterministic order."""
+    chunk = 256 * 1024 if quick else 1024 * 1024
+    # Best-of-N wall times; generous N because shared machines are noisy.
+    repeats = 3 if quick else 9
+    events = 2_000 if quick else 20_000
+
+    metrics: Dict[str, Dict] = {}
+    metrics.update(bench_gf256_encode(chunk, repeats))
+    metrics.update(bench_gf256_decode(chunk, repeats))
+    metrics.update(bench_gf256_transcode(chunk, repeats))
+    metrics.update(bench_gf16_wide(chunk, repeats))
+    metrics.update(bench_event_engine(events, repeats))
+    return metrics
+
+
+def validate_schema(doc: Dict, expected_names) -> List[str]:
+    """Schema problems with a committed BENCH_codec.json (empty = OK)."""
+    problems: List[str] = []
+    if doc.get("schema") != SCHEMA:
+        problems.append(f"schema is {doc.get('schema')!r}, expected {SCHEMA!r}")
+    metrics = doc.get("metrics")
+    if not isinstance(metrics, dict):
+        return problems + ["'metrics' missing or not an object"]
+    for name in expected_names:
+        if name not in metrics:
+            problems.append(f"missing metric {name!r}")
+    for name, m in metrics.items():
+        if not isinstance(m, dict):
+            problems.append(f"{name}: not an object")
+            continue
+        if not isinstance(m.get("value"), (int, float)) or m["value"] <= 0:
+            problems.append(f"{name}: value must be a positive number")
+        if not isinstance(m.get("unit"), str):
+            problems.append(f"{name}: unit must be a string")
+        if not isinstance(m.get("params"), dict):
+            problems.append(f"{name}: params must be an object")
+    return problems
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro bench",
+        description="codec microbenchmarks -> BENCH_codec.json",
+    )
+    parser.add_argument(
+        "--quick", action="store_true",
+        help="smaller chunks / fewer repeats (CI smoke)",
+    )
+    parser.add_argument(
+        "--check", action="store_true",
+        help="validate the committed BENCH_codec.json schema; do not overwrite",
+    )
+    parser.add_argument(
+        "--out", type=Path, default=None,
+        help="output path (default: BENCH_codec.json at the repo root)",
+    )
+    args = parser.parse_args(argv)
+    out = args.out or default_output()
+
+    metrics = run_benchmarks(quick=args.quick)
+    for name in sorted(metrics):
+        m = metrics[name]
+        print(f"  {name:34s} {m['value']:>12,.1f} {m['unit']}")
+
+    if args.check:
+        if not out.exists():
+            print(f"check: {out} does not exist", file=sys.stderr)
+            return 1
+        doc = json.loads(out.read_text())
+        problems = validate_schema(doc, expected_names=sorted(metrics))
+        if problems:
+            for p in problems:
+                print(f"check: {p}", file=sys.stderr)
+            return 1
+        print(f"check: {out.name} schema OK ({len(doc['metrics'])} metrics)")
+        return 0
+
+    doc = {
+        "schema": SCHEMA,
+        "quick": bool(args.quick),
+        "metrics": {name: metrics[name] for name in sorted(metrics)},
+    }
+    out.write_text(json.dumps(doc, indent=2) + "\n")
+    print(f"wrote {out}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -31,7 +31,7 @@ import numpy as np
 from repro.codes.base import DecodeError, ErasureCode, Stripe
 from repro.codes.convertible import ConversionIO, ConvertibleCode
 from repro.codes.pointsearch import find_family_points, vandermonde_parity
-from repro.gf.field import _MUL_TABLE
+from repro.gf.kernels import gf_scale_xor
 from repro.gf.matrix import SingularMatrixError, gf_identity, gf_matinv, gf_matmul
 
 
@@ -87,7 +87,7 @@ class BandwidthOptimalCC(ErasureCode):
         sublen = self._substripe_len(len(data_chunks[0]))
         acc = np.zeros(sublen, dtype=np.uint8)
         for t, chunk in enumerate(data_chunks):
-            acc ^= _MUL_TABLE[self._parity_coeffs[t, j], self._sub(chunk, s)]
+            gf_scale_xor(acc, int(self._parity_coeffs[t, j]), self._sub(chunk, s))
         return acc
 
     # -- encode ------------------------------------------------------------
@@ -225,26 +225,29 @@ class BandwidthOptimalCC(ErasureCode):
                         direct = np.zeros(sublen, dtype=np.uint8)
                         for t in range(k_i):
                             sub = tail_data[t][(s - r_i) * sublen : (s - r_i + 1) * sublen]
-                            direct ^= _MUL_TABLE[self._parity_coeffs[t, j], sub]
+                            gf_scale_xor(direct, int(self._parity_coeffs[t, j]), sub)
                         extracted = piece ^ direct  # == p_{substripe j, parity s}
                         coeff = final.shift_coefficient(s, offset)
-                        final_parities[s, j * sublen : (j + 1) * sublen] ^= _MUL_TABLE[
-                            coeff, extracted
-                        ]
+                        gf_scale_xor(
+                            final_parities[s, j * sublen : (j + 1) * sublen],
+                            coeff,
+                            extracted,
+                        )
                     else:
                         coeff = final.shift_coefficient(j, offset)
-                        final_parities[j, s * sublen : (s + 1) * sublen] ^= _MUL_TABLE[
-                            coeff, piece
-                        ]
+                        gf_scale_xor(
+                            final_parities[j, s * sublen : (s + 1) * sublen],
+                            coeff,
+                            piece,
+                        )
             # Tail substripes of the final parities: direct from read data.
             for s in range(r_i, r_f):
                 for j in range(r_f):
                     acc = final_parities[j, s * sublen : (s + 1) * sublen]
                     for t in range(k_i):
-                        coeff = final._generator[final.k + j, offset + t]
+                        coeff = int(final._generator[final.k + j, offset + t])
                         sub = tail_data[t][(s - r_i) * sublen : (s - r_i + 1) * sublen]
-                        acc ^= _MUL_TABLE[coeff, sub]
-                    final_parities[j, s * sublen : (s + 1) * sublen] = acc
+                        gf_scale_xor(acc, coeff, sub)
 
         chunks: List[np.ndarray] = []
         for i in range(lam):

@@ -8,10 +8,17 @@ first ``k`` chunks of a stripe are the raw data.
 
 from __future__ import annotations
 
+from collections import OrderedDict
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence
+from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
+
+from repro.obs.codec import record_codec
+
+#: Decode-pattern inverses cached per code (LRU); degraded reads and
+#: repairs hit the same few erasure patterns over and over.
+_DECODE_CACHE_MAX = 16
 
 
 class DecodeError(Exception):
@@ -104,6 +111,14 @@ class ErasureCode:
             raise ValueError(f"need 0 < k < n, got k={k} n={n}")
         self.k = k
         self.n = n
+        # Multiply plan over the parity rows, shared by every stripe of
+        # this code. Built lazily on first encode because subclasses
+        # construct the generator after this __init__ returns; pinned
+        # here so the global plan LRU can never evict a live code's plan.
+        self._encode_plan = None
+        self._decode_cache: "OrderedDict[Tuple[int, ...], Tuple[np.ndarray, List[int]]]" = (
+            OrderedDict()
+        )
 
     @property
     def r(self) -> int:
@@ -116,15 +131,27 @@ class ErasureCode:
         raise NotImplementedError
 
     # -- generic machinery ------------------------------------------------
+    def encode_plan(self):
+        """The cached multiply plan over this code's parity rows."""
+        if self._encode_plan is None:
+            from repro.gf.kernels import plan_for_matrix
+
+            self._encode_plan = plan_for_matrix(self.generator[self.k :])
+        return self._encode_plan
+
     def encode(self, data_chunks: Sequence[np.ndarray]) -> List[np.ndarray]:
         """Compute the r parity chunks for k equal-length data chunks."""
         if len(data_chunks) != self.k:
             raise ValueError(f"expected {self.k} data chunks, got {len(data_chunks)}")
         data = np.stack([np.asarray(c, dtype=np.uint8) for c in data_chunks])
-        from repro.gf.matrix import gf_matmul
+        from repro.gf.kernels import KERNEL_MIN_BYTES
+        from repro.gf.matrix import gf_matmul_reference
 
-        parity_rows = self.generator[self.k :]
-        parities = gf_matmul(parity_rows, data)
+        with record_codec("encode", data.nbytes):
+            if data.shape[1] >= KERNEL_MIN_BYTES:
+                parities = self.encode_plan().apply(data)
+            else:
+                parities = gf_matmul_reference(self.generator[self.k :], data)
         return [parities[i] for i in range(self.r)]
 
     def encode_stripe(self, data_chunks: Sequence[np.ndarray]) -> Stripe:
@@ -148,33 +175,54 @@ class ErasureCode:
         Raises:
             DecodeError: if the available chunks are insufficient.
         """
-        from repro.gf.matrix import SingularMatrixError, gf_matmul, gf_matinv
+        from repro.gf.matrix import gf_matmul
 
         erased = list(erased)
         if not erased:
             return {}
-        use = sorted(available)[: self.k] if len(available) >= self.k else sorted(available)
-        if len(use) < self.k:
+        if len(available) < self.k:
             raise DecodeError(
                 f"need {self.k} chunks to decode, only {len(available)} available"
             )
-        sub_gen = self.generator[use, :]
+        inv, use = self._decode_inverse(available)
+        stacked = np.stack([np.asarray(available[i], dtype=np.uint8) for i in use])
+        with record_codec("decode", len(erased) * stacked.shape[1]):
+            data = gf_matmul(inv, stacked)
+            # One stacked generator-row product reconstructs every erased
+            # chunk at once (the data matrix is already in place).
+            recovered = gf_matmul(self.generator[erased, :], data)
+        return {idx: recovered[j] for j, idx in enumerate(erased)}
+
+    def _decode_inverse(self, available: Dict[int, np.ndarray]):
+        """(inverse, rows used) for this availability pattern, cached.
+
+        The inverse depends only on *which* chunks survive, not their
+        bytes, and failure scenarios revisit the same few patterns — so
+        a small per-code LRU skips the Gauss-Jordan solve on repeats.
+        """
+        from repro.gf.matrix import SingularMatrixError, gf_matinv
+
+        # Key on the full availability pattern: the singular-subset
+        # fallback may pick rows beyond the first k survivors.
+        key = tuple(sorted(available))
+        use = list(key[: self.k])
+        hit = self._decode_cache.get(key)
+        if hit is not None:
+            self._decode_cache.move_to_end(key)
+            return hit
         try:
-            inv = gf_matinv(sub_gen)
+            inv = gf_matinv(self.generator[use, :])
         except SingularMatrixError:
             # A non-MDS code (or unlucky subset): retry with a different
             # k-subset before giving up.
-            inv = self._find_invertible_subset(available)
-            if inv is None:
+            found = self._find_invertible_subset(available)
+            if found is None:
                 raise DecodeError("no invertible k-subset of available chunks")
-            inv, use = inv
-        stacked = np.stack([np.asarray(available[i], dtype=np.uint8) for i in use])
-        data = gf_matmul(inv, stacked)
-        out: Dict[int, np.ndarray] = {}
-        for idx in erased:
-            row = self.generator[idx : idx + 1, :]
-            out[idx] = gf_matmul(row, data)[0]
-        return out
+            inv, use = found
+        self._decode_cache[key] = (inv, use)
+        while len(self._decode_cache) > _DECODE_CACHE_MAX:
+            self._decode_cache.popitem(last=False)
+        return inv, use
 
     def _find_invertible_subset(self, available: Dict[int, np.ndarray]):
         from itertools import combinations

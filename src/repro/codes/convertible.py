@@ -35,7 +35,7 @@ import numpy as np
 from repro.codes.base import DecodeError, ErasureCode, Stripe
 from repro.codes.pointsearch import find_family_points, vandermonde_parity
 from repro.gf.field import gf_pow
-from repro.gf.field import _MUL_TABLE
+from repro.gf.kernels import gf_scale_xor
 from repro.gf.matrix import gf_identity
 
 #: Default maximum stripe width a family is verified for (r <= 3). Wide
@@ -244,7 +244,7 @@ def convert(
             offset = i_lo - contained_in * k_f
             for j in range(r_f):
                 coeff = final.shift_coefficient(j, offset)
-                parities[contained_in, j] ^= _MUL_TABLE[coeff, parity_chunk(i, j)]
+                gf_scale_xor(parities[contained_in, j], coeff, parity_chunk(i, j))
             continue
         if contained_in is not None:
             # Narrow stripe: its data was cheaper to read than parities.
@@ -253,7 +253,7 @@ def convert(
                 chunk = data_chunk(t)
                 for j in range(r_f):
                     coeff = final.shift_coefficient(j, local)
-                    parities[contained_in, j] ^= _MUL_TABLE[coeff, chunk]
+                    gf_scale_xor(parities[contained_in, j], coeff, chunk)
             continue
         derived = next(
             (m for m, src in plan.derived_finals.items() if src == i), None
@@ -266,7 +266,7 @@ def convert(
             chunk = data_chunk(t)
             for j in range(r_f):
                 coeff = final.shift_coefficient(j, local)
-                parities[m, j] ^= _MUL_TABLE[coeff, chunk]
+                gf_scale_xor(parities[m, j], coeff, chunk)
         if derived is not None:
             # initial parity = sum over the stripe's span with *initial-local*
             # exponents; re-expressed per final stripe that gives, for each j:
@@ -280,10 +280,10 @@ def convert(
                     if m == derived:
                         continue
                     coeff = final.shift_coefficient(j, t - i_lo)
-                    acc ^= _MUL_TABLE[coeff, data_chunk(t)]
+                    gf_scale_xor(acc, coeff, data_chunk(t))
                 # acc == alpha_j**(derived_start - i_lo) * missing contribution
                 inv = final.shift_coefficient(j, i_lo - derived * k_f)
-                parities[derived, j] ^= _MUL_TABLE[inv, acc]
+                gf_scale_xor(parities[derived, j], inv, acc)
 
     out: List[Stripe] = []
     for m in range(plan.n_final_stripes):

@@ -18,6 +18,7 @@ from typing import Dict, List, Sequence
 import numpy as np
 
 from repro.codes.base import DecodeError, ErasureCode
+from repro.obs.codec import record_codec
 from repro.gf.matrix import (
     SingularMatrixError,
     cauchy_matrix,
@@ -111,6 +112,14 @@ class LocalReconstructionCode(ErasureCode):
         erased = list(erased)
         if not erased:
             return {}
+        first = next(iter(available.values()), None)
+        chunk_len = 0 if first is None else len(first)
+        with record_codec("decode", len(erased) * chunk_len):
+            return self._decode_impl(available, erased)
+
+    def _decode_impl(
+        self, available: Dict[int, np.ndarray], erased: List[int]
+    ) -> Dict[int, np.ndarray]:
         out: Dict[int, np.ndarray] = {}
         remaining = []
         for idx in erased:
@@ -145,8 +154,10 @@ class LocalReconstructionCode(ErasureCode):
             raise DecodeError("internal: chosen rows not invertible") from exc
         stacked = np.stack([np.asarray(avail[i], dtype=np.uint8) for i in chosen])
         data = gf_matmul(inv, stacked)
-        for idx in remaining:
-            out[idx] = gf_matmul(self.generator[idx : idx + 1, :], data)[0]
+        # One stacked matmul reconstructs every remaining chunk.
+        recovered = gf_matmul(self.generator[remaining, :], data)
+        for j, idx in enumerate(remaining):
+            out[idx] = recovered[j]
         return out
 
     def __repr__(self) -> str:

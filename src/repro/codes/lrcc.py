@@ -30,7 +30,9 @@ import numpy as np
 from repro.codes.base import DecodeError, ErasureCode, Stripe
 from repro.codes.convertible import ConversionIO, ConvertibleCode
 from repro.codes.pointsearch import find_family_points
-from repro.gf.field import _MUL_TABLE, gf_pow
+from repro.gf.field import gf_pow
+from repro.gf.kernels import gf_scale, gf_scale_xor
+from repro.obs.codec import record_codec
 from repro.gf.matrix import (
     SingularMatrixError,
     gf_identity,
@@ -114,22 +116,24 @@ class LocallyRecoverableConvertibleCode(ErasureCode):
         if failed == parity_idx:
             acc = np.zeros_like(np.asarray(available[base], dtype=np.uint8))
             for u in range(self.group_size):
-                acc ^= _MUL_TABLE[
+                gf_scale_xor(
+                    acc,
                     self.generator[parity_idx, base + u],
                     np.asarray(available[base + u], dtype=np.uint8),
-                ]
+                )
             return acc
         acc = np.asarray(available[parity_idx], dtype=np.uint8).copy()
         for u in range(self.group_size):
             idx = base + u
             if idx == failed:
                 continue
-            acc ^= _MUL_TABLE[
+            gf_scale_xor(
+                acc,
                 self.generator[parity_idx, idx],
                 np.asarray(available[idx], dtype=np.uint8),
-            ]
+            )
         coeff = int(self.generator[parity_idx, failed])
-        return _MUL_TABLE[gf_pow(coeff, -1), acc]
+        return gf_scale(gf_pow(coeff, -1), acc)
 
     def decode(
         self, available: Dict[int, np.ndarray], erased: Sequence[int]
@@ -138,6 +142,14 @@ class LocallyRecoverableConvertibleCode(ErasureCode):
         erased = list(erased)
         if not erased:
             return {}
+        first = next(iter(available.values()), None)
+        chunk_len = 0 if first is None else len(first)
+        with record_codec("decode", len(erased) * chunk_len):
+            return self._decode_impl(available, erased)
+
+    def _decode_impl(
+        self, available: Dict[int, np.ndarray], erased: List[int]
+    ) -> Dict[int, np.ndarray]:
         out: Dict[int, np.ndarray] = {}
         remaining = []
         for idx in erased:
@@ -168,8 +180,10 @@ class LocallyRecoverableConvertibleCode(ErasureCode):
             raise DecodeError("internal: chosen rows not invertible") from exc
         stacked = np.stack([np.asarray(avail[i], dtype=np.uint8) for i in chosen])
         data = gf_matmul(inv, stacked)
-        for idx in remaining:
-            out[idx] = gf_matmul(self.generator[idx : idx + 1, :], data)[0]
+        # One stacked matmul reconstructs every remaining chunk.
+        recovered = gf_matmul(self.generator[remaining, :], data)
+        for j, idx in enumerate(remaining):
+            out[idx] = recovered[j]
         return out
 
     def __repr__(self) -> str:
@@ -217,7 +231,7 @@ def convert_cc_to_lrcc(
         for s in range(stripes_per_group):
             i = g * stripes_per_group + s
             coeff = gf_pow(final.points[0], s * k_i)  # group-local offset
-            acc ^= _MUL_TABLE[coeff, parity(i, 0)]
+            gf_scale_xor(acc, coeff, parity(i, 0))
         locals_out.append(acc)
     # Global parity j: point-(j+1) merge of initial parities j+1.
     globals_out: List[np.ndarray] = []
@@ -225,7 +239,7 @@ def convert_cc_to_lrcc(
         acc = np.zeros(chunk_size, dtype=np.uint8)
         for i in range(lam):
             coeff = gf_pow(final.points[j + 1], i * k_i)  # stripe-global offset
-            acc ^= _MUL_TABLE[coeff, parity(i, j + 1)]
+            gf_scale_xor(acc, coeff, parity(i, j + 1))
         globals_out.append(acc)
 
     chunks: List[np.ndarray] = []
@@ -281,7 +295,7 @@ def convert_lrcc_to_lrcc(
             local_group_in_stripe = global_group - i * initial.l
             src = chunk_at(i, initial.local_parity_index(local_group_in_stripe))
             coeff = gf_pow(final.points[0], s * initial.group_size)
-            acc ^= _MUL_TABLE[coeff, src]
+            gf_scale_xor(acc, coeff, src)
         locals_out.append(acc)
     globals_out: List[np.ndarray] = []
     for j in range(final.r_global):
@@ -289,7 +303,7 @@ def convert_lrcc_to_lrcc(
         for i in range(lam):
             src = chunk_at(i, initial.k + initial.l + j)
             coeff = gf_pow(final.points[j + 1], i * k_i)
-            acc ^= _MUL_TABLE[coeff, src]
+            gf_scale_xor(acc, coeff, src)
         globals_out.append(acc)
 
     chunks: List[np.ndarray] = []

@@ -21,8 +21,7 @@ from typing import Dict, List, Optional, Tuple
 
 import numpy as np
 
-from repro.gf.field import GF256, gf_pow
-from repro.gf.field import _MUL_TABLE
+from repro.gf.field import _EXP, _LOG, _MUL_TABLE, FIELD_ORDER, GF256
 
 #: Above this many submatrix determinants, fall back to sampled checking.
 EXHAUSTIVE_DET_LIMIT = 3_000_000
@@ -89,11 +88,24 @@ def batch_det(mats: np.ndarray) -> np.ndarray:
 
 
 def vandermonde_parity(points: List[int], width: int) -> np.ndarray:
-    """Parity block P[t, j] = points[j] ** t, shape (width, r)."""
-    out = np.zeros((width, len(points)), dtype=np.uint8)
-    for j, p in enumerate(points):
-        for t in range(width):
-            out[t, j] = gf_pow(p, t)
+    """Parity block P[t, j] = points[j] ** t, shape (width, r).
+
+    Same orientation as :func:`repro.gf.matrix.vandermonde` but without
+    the distinctness check — superregularity tests probe deliberately
+    degenerate point sets. Vectorized: one log-space outer product and
+    one exp gather replace the width * r scalar ``gf_pow`` loop.
+    """
+    arr = np.asarray([int(p) for p in points], dtype=np.int64)
+    if width == 0 or arr.size == 0:
+        return np.zeros((width, arr.size), dtype=np.uint8)
+    exponents = (
+        np.arange(width, dtype=np.int64)[:, None] * _LOG[arr][None, :]
+    ) % FIELD_ORDER
+    out = _EXP[exponents].astype(np.uint8)
+    zero_cols = arr == 0
+    if zero_cols.any():
+        out[:, zero_cols] = 0
+        out[0, zero_cols] = 1  # 0**0 == 1, matching gf_pow
     return out
 
 

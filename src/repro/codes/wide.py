@@ -23,6 +23,9 @@ import numpy as np
 
 from repro.codes.base import DecodeError
 from repro.gf.field16 import (
+    _EXP16,
+    _LOG16,
+    FIELD_ORDER_16,
     bytes_to_symbols,
     gf16_batch_det,
     gf16_element,
@@ -32,6 +35,7 @@ from repro.gf.field16 import (
     gf16_pow,
     symbols_to_bytes,
 )
+from repro.obs.codec import record_codec
 
 #: Curated nested exponent chain for GF(2^16) families (searched offline,
 #: re-verified on first use). Prefix property: code with r parities uses
@@ -48,10 +52,23 @@ SAMPLE_COUNT_16 = 120_000
 
 
 def vandermonde_parity_16(points: Sequence[int], width: int) -> np.ndarray:
-    out = np.zeros((width, len(points)), dtype=np.uint16)
-    for j, p in enumerate(points):
-        for t in range(width):
-            out[t, j] = gf16_pow(int(p), t)
+    """(width, len(points)) matrix with entry [t, j] = points[j] ** t.
+
+    Vectorized as an outer product in log space; zero points (which the
+    curated families never contain, but the definition allows) follow the
+    ``gf16_pow`` convention ``0 ** 0 == 1``.
+    """
+    arr = np.asarray(list(points), dtype=np.uint16)
+    if width == 0 or arr.size == 0:
+        return np.zeros((width, arr.size), dtype=np.uint16)
+    exponents = (
+        np.arange(width, dtype=np.int64)[:, None] * _LOG16[arr][None, :].astype(np.int64)
+    ) % FIELD_ORDER_16
+    out = _EXP16[exponents].astype(np.uint16)
+    zero_cols = arr == 0
+    if zero_cols.any():
+        out[:, zero_cols] = 0
+        out[0, zero_cols] = 1
     return out
 
 
@@ -119,6 +136,9 @@ class WideConvertibleCode:
         self.family_width = family_width or max(k, 40)
         self.points = wide_family_points(self.r, max(self.family_width, k))
         self._parity_coeffs = vandermonde_parity_16(self.points, k)  # (k, r)
+        # Pinned multiply plan over the parity rows (built lazily, shared
+        # by every stripe; see ErasureCode.encode_plan for the rationale).
+        self._encode_plan = None
 
     @property
     def r(self) -> int:
@@ -128,13 +148,29 @@ class WideConvertibleCode:
         return gf16_pow(int(self.points[j]), offset)
 
     # -- encode/decode -----------------------------------------------------
+    def encode_plan(self):
+        """The cached GF(2^16) multiply plan over this code's parity rows."""
+        if self._encode_plan is None:
+            from repro.gf.kernels import plan_for_matrix16
+
+            self._encode_plan = plan_for_matrix16(
+                np.ascontiguousarray(self._parity_coeffs.T)
+            )
+        return self._encode_plan
+
     def encode(self, data_chunks: Sequence[np.ndarray]) -> List[np.ndarray]:
         """Parity chunks (uint8) for k equal-length uint8 data chunks."""
         if len(data_chunks) != self.k:
             raise ValueError(f"expected {self.k} chunks")
+        from repro.gf.kernels import KERNEL_MIN_BYTES
+
         length = len(data_chunks[0])
         symbols = np.stack([bytes_to_symbols(c) for c in data_chunks])
-        parities = gf16_matmul(self._parity_coeffs.T, symbols)
+        with record_codec("encode", self.k * length):
+            if 2 * symbols.shape[1] >= KERNEL_MIN_BYTES:
+                parities = self.encode_plan().apply(symbols)
+            else:
+                parities = gf16_matmul(self._parity_coeffs.T, symbols)
         return [symbols_to_bytes(parities[j], length) for j in range(self.r)]
 
     def decode(
@@ -158,18 +194,21 @@ class WideConvertibleCode:
         inv = gf16_matinv(np.stack(rows))
         length = len(next(iter(available.values())))
         stacked = np.stack([bytes_to_symbols(available[i]) for i in use])
-        data = gf16_matmul(inv, stacked)
-        out: Dict[int, np.ndarray] = {}
-        for idx in erased:
-            if idx < self.k:
-                out[idx] = symbols_to_bytes(data[idx], length)
-            else:
-                j = idx - self.k
-                parity = gf16_matmul(
-                    self._parity_coeffs.T[j : j + 1], data
-                )[0]
-                out[idx] = symbols_to_bytes(parity, length)
-        return out
+        with record_codec("decode", len(erased) * length):
+            data = gf16_matmul(inv, stacked)
+            # One stacked generator-row product reconstructs every erased
+            # chunk (data and parity alike) at once.
+            gen_rows = np.zeros((len(erased), self.k), dtype=np.uint16)
+            for j, idx in enumerate(erased):
+                if idx < self.k:
+                    gen_rows[j, idx] = 1
+                else:
+                    gen_rows[j] = self._parity_coeffs[:, idx - self.k]
+            recovered = gf16_matmul(gen_rows, data)
+        return {
+            idx: symbols_to_bytes(recovered[j], length)
+            for j, idx in enumerate(erased)
+        }
 
     # -- conversion ----------------------------------------------------------
     def merge_parities(
@@ -189,12 +228,17 @@ class WideConvertibleCode:
             raise ValueError("codes are from different GF(2^16) families")
         length = len(stripe_parities[0][0])
         out = []
-        for j in range(final.r):
-            acc = np.zeros(len(bytes_to_symbols(stripe_parities[0][j])), dtype=np.uint16)
-            for i in range(lam):
-                coeff = final.shift_coefficient(j, i * self.k)
-                acc ^= gf16_mul(np.uint16(coeff), bytes_to_symbols(stripe_parities[i][j]))
-            out.append(symbols_to_bytes(acc, length))
+        with record_codec("transcode", final.r * length):
+            for j in range(final.r):
+                acc = np.zeros(
+                    len(bytes_to_symbols(stripe_parities[0][j])), dtype=np.uint16
+                )
+                for i in range(lam):
+                    coeff = final.shift_coefficient(j, i * self.k)
+                    acc ^= gf16_mul(
+                        np.uint16(coeff), bytes_to_symbols(stripe_parities[i][j])
+                    )
+                out.append(symbols_to_bytes(acc, length))
         return out
 
     def __repr__(self) -> str:

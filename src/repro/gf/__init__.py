@@ -7,12 +7,22 @@ add/mul/div over numpy uint8 arrays) and the matrix algebra built on it
 """
 
 from repro.gf.field import GF256, gf_add, gf_div, gf_inv, gf_mul, gf_pow
+from repro.gf.kernels import (
+    MulPlan8,
+    MulPlan16,
+    clear_plan_caches,
+    gf_scale,
+    gf_scale_xor,
+    plan_for_matrix,
+    plan_for_matrix16,
+)
 from repro.gf.matrix import (
     SingularMatrixError,
     cauchy_matrix,
     gf_identity,
     gf_matinv,
     gf_matmul,
+    gf_matmul_reference,
     gf_matvec,
     gf_rank,
     gf_solve,
@@ -22,12 +32,20 @@ from repro.gf.matrix import (
 
 __all__ = [
     "GF256",
+    "MulPlan8",
+    "MulPlan16",
+    "clear_plan_caches",
     "gf_add",
     "gf_mul",
     "gf_div",
     "gf_inv",
     "gf_pow",
+    "gf_scale",
+    "gf_scale_xor",
     "gf_matmul",
+    "gf_matmul_reference",
+    "plan_for_matrix",
+    "plan_for_matrix16",
     "gf_matvec",
     "gf_matinv",
     "gf_identity",

@@ -1,0 +1,425 @@
+"""Cache-blocked bulk-multiply kernels for GF(2^8) and GF(2^16).
+
+The reference matmuls in :mod:`repro.gf.matrix` and
+:mod:`repro.gf.field16` are exact but allocate a full ``(m, n, k)``
+intermediate (GF(2^8)) or do per-element log/exp lookups with a fresh
+zero mask per element (GF(2^16)). Production erasure codecs (ISA-L,
+Jerasure) instead stream small per-coefficient multiply tables over
+contiguous data. This module is the numpy rendition of that idea:
+
+* **Pair tables** — for a coefficient ``c`` over GF(2^8), a 65536-entry
+  ``uint16`` table maps a little pair of bytes ``(x0, x1)`` to
+  ``(c*x0, c*x1)`` in one gather, halving the index count versus a
+  256-entry byte table. Over GF(2^16) the analogous table maps a whole
+  symbol ``x`` to ``c*x`` (built from two 256-entry half-symbol tables,
+  never from an 8 GiB product table). Both are position-preserving
+  per-byte/symbol maps, so they are endianness-independent.
+* **Multiply plans** — :class:`MulPlan8` / :class:`MulPlan16` precompute,
+  for a fixed coefficient matrix, one *combined* ``(65536, m)`` table per
+  input row: a single ``np.take`` then yields the contribution of that
+  input row to **all** ``m`` outputs. Plans are built once per generator
+  (cached on the :class:`~repro.codes.base.ErasureCode` and in a global
+  LRU keyed by matrix bytes) and reused across every stripe of a code.
+* **Cache blocking** — ``apply`` walks the byte axis in tiles sized so
+  the accumulator + gather scratch stay within :data:`TILE_BYTES`
+  regardless of chunk length; no ``(m, n, k)`` intermediate is ever
+  materialised, so memory is O(tile) instead of O(m*n*k).
+
+Wide matrices (``m`` above :data:`COMBINE_MAX_ROWS`) fall back to a
+row-at-a-time blocked loop over shared per-coefficient tables (GF(2^8))
+or a hoisted-log loop that applies the zero mask once per coefficient
+instead of once per element (GF(2^16)).
+
+Dispatch policy lives with the callers (:func:`repro.gf.matrix.gf_matmul`
+and :func:`repro.gf.field16.gf16_matmul`): below
+:data:`KERNEL_MIN_BYTES` per row the reference path is faster because a
+gather cannot amortise; at or above it the kernels win by ~5-10x.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Dict, List, Tuple
+
+import numpy as np
+
+from repro.gf.field import _MUL_TABLE
+
+#: Per-row byte count at which matmuls dispatch to the kernel layer.
+#: Below this the reference paths win (gathers cannot amortise).
+KERNEL_MIN_BYTES = 4096
+
+#: Bytes of accumulator + scratch a blocked tile may occupy. Large
+#: enough to amortise per-call numpy dispatch over each gather, small
+#: enough that scratch stays bounded (and last-level-cache resident) no
+#: matter how long the chunk axis is; measured optimum on 1 MiB chunks.
+TILE_BYTES = 1 << 22
+
+#: Widest output (row count) a combined per-column table is built for.
+#: Beyond this the (65536, m) tables outgrow L2 and the row-loop wins.
+COMBINE_MAX_ROWS = 8
+
+#: LRU capacities: whole plans (global) and per-coefficient tables.
+_PLAN_CACHE_MAX = 16
+_COEFF_CACHE_MAX = 256
+
+_PAIR_IDX_LO = np.arange(1 << 16, dtype=np.uint32) & 0xFF
+_PAIR_IDX_HI = np.arange(1 << 16, dtype=np.uint32) >> 8
+
+
+# ---------------------------------------------------------------------------
+# per-coefficient tables
+# ---------------------------------------------------------------------------
+
+_pair8_cache: "OrderedDict[int, np.ndarray]" = OrderedDict()
+_full16_cache: "OrderedDict[int, np.ndarray]" = OrderedDict()
+
+
+def _cache_get(cache: OrderedDict, key: int, build) -> np.ndarray:
+    table = cache.get(key)
+    if table is None:
+        table = build()
+        cache[key] = table
+        while len(cache) > _COEFF_CACHE_MAX:
+            cache.popitem(last=False)
+    else:
+        cache.move_to_end(key)
+    return table
+
+
+def pair_table8(c: int) -> np.ndarray:
+    """(65536,) uint16 table: byte-pair ``x`` -> ``(c*x_lo, c*x_hi)``."""
+
+    def build() -> np.ndarray:
+        row = _MUL_TABLE[c].astype(np.uint16)
+        return (row[_PAIR_IDX_LO] | (row[_PAIR_IDX_HI] << 8)).astype(np.uint16)
+
+    return _cache_get(_pair8_cache, int(c), build)
+
+
+def mul_table16(c: int) -> np.ndarray:
+    """(65536,) uint16 table: GF(2^16) symbol ``x`` -> ``c * x``.
+
+    Built from two 256-entry half-symbol tables via linearity:
+    ``c*x = c*lo(x) ^ (c*z^8)*hi(x)`` where ``z^8`` is the field element
+    0x100 — never from the infeasible 8 GiB full product table.
+    """
+
+    def build() -> np.ndarray:
+        from repro.gf.field16 import gf16_mul
+
+        half = np.arange(256, dtype=np.uint16)
+        lo_tab = gf16_mul(np.uint16(c), half)
+        hi_tab = gf16_mul(np.uint16(gf16_mul(int(c), 0x100)), half)
+        return (lo_tab[_PAIR_IDX_LO] ^ hi_tab[_PAIR_IDX_HI]).astype(np.uint16)
+
+    return _cache_get(_full16_cache, int(c), build)
+
+
+# ---------------------------------------------------------------------------
+# the blocked core (shared by both fields)
+# ---------------------------------------------------------------------------
+
+def _combined_tables(
+    coeffs: np.ndarray, cols: List[int], table_fn
+) -> List[np.ndarray]:
+    """One (65536, m) uint16 table per nonzero input row of ``coeffs``."""
+    m = coeffs.shape[0]
+    out = []
+    for t in cols:
+        tab = np.zeros((1 << 16, m), dtype=np.uint16)
+        for i in range(m):
+            c = int(coeffs[i, t])
+            if c:
+                tab[:, i] = table_fn(c)
+        out.append(np.ascontiguousarray(tab))
+    return out
+
+
+def _apply_combined(
+    tables: List[np.ndarray],
+    cols: List[int],
+    b16: np.ndarray,
+    out16: np.ndarray,
+) -> None:
+    """out16 (m, L) ^= sum_t tables[t][b16[t]], tiled along the symbol axis."""
+    if not tables:
+        return  # all-zero coefficients: out16 is already zeroed
+    m, n16 = out16.shape
+    # Tile so acc + tmp (two (w, m) uint16 buffers) fit the tile budget.
+    w = max(1024, TILE_BYTES // (4 * max(m, 1)))
+    acc = np.empty((min(w, n16), m), dtype=np.uint16)
+    tmp = np.empty_like(acc)
+    for start in range(0, n16, w):
+        stop = min(start + w, n16)
+        ww = stop - start
+        a = acc[:ww]
+        for j, (tab, t) in enumerate(zip(tables, cols)):
+            # mode="clip" is a no-op for uint16 indices into a 65536-row
+            # table but skips numpy's buffered bounds-checked take path.
+            if j == 0:
+                # First input row gathers straight into the accumulator —
+                # one fewer full pass over the tile.
+                np.take(tab, b16[t, start:stop], axis=0, out=a, mode="clip")
+            else:
+                np.take(tab, b16[t, start:stop], axis=0, out=tmp[:ww], mode="clip")
+                np.bitwise_xor(a, tmp[:ww], out=a)
+        out16[:, start:stop] = a.T
+
+
+def _apply_rows8(
+    coeffs: np.ndarray, cols: List[int], b16: np.ndarray, out16: np.ndarray
+) -> None:
+    """Row-at-a-time blocked loop over shared pair tables (wide outputs)."""
+    m, n16 = out16.shape
+    w = max(1024, TILE_BYTES // 4)
+    tmp = np.empty(min(w, n16), dtype=np.uint16)
+    for start in range(0, n16, w):
+        stop = min(start + w, n16)
+        ww = stop - start
+        for i in range(m):
+            acc = out16[i, start:stop]
+            for t in cols:
+                c = int(coeffs[i, t])
+                if c == 0:
+                    continue
+                seg = b16[t, start:stop]
+                if c == 1:
+                    np.bitwise_xor(acc, seg, out=acc)
+                else:
+                    np.take(pair_table8(c), seg, out=tmp[:ww], mode="clip")
+                    np.bitwise_xor(acc, tmp[:ww], out=acc)
+
+
+def _apply_rows16(
+    coeffs: np.ndarray, cols: List[int], b: np.ndarray, out: np.ndarray
+) -> None:
+    """GF(2^16) wide-output path: per-coefficient log/exp with the
+    generator's logs hoisted out of the inner loop and the operand zero
+    mask computed once per input row (not once per element)."""
+    from repro.gf.field16 import _EXP16, _LOG16
+
+    m = out.shape[0]
+    log_coeffs = _LOG16[coeffs.astype(np.int64)]
+    for t in cols:
+        row = b[t]
+        log_row = _LOG16[row.astype(np.int64)]
+        zero = row == 0
+        any_zero = bool(zero.any())
+        for i in range(m):
+            c = int(coeffs[i, t])
+            if c == 0:
+                continue
+            prod = _EXP16[log_coeffs[i, t] + log_row].astype(np.uint16)
+            if any_zero:
+                prod[zero] = 0
+            out[i] ^= prod
+
+
+# ---------------------------------------------------------------------------
+# multiply plans
+# ---------------------------------------------------------------------------
+
+class MulPlan8:
+    """A reusable bulk-multiply plan for a fixed GF(2^8) matrix.
+
+    ``apply(b)`` computes ``coeffs @ b`` over GF(256) for bulk ``b``
+    without materialising an ``(m, n, k)`` intermediate. Build once per
+    generator (it gathers 128 KiB of tables per coefficient column) and
+    reuse across stripes; :func:`plan_for_matrix` does this caching.
+    """
+
+    def __init__(self, coeffs: np.ndarray):
+        coeffs = np.ascontiguousarray(coeffs, dtype=np.uint8)
+        if coeffs.ndim != 2:
+            raise ValueError("MulPlan8 expects a 2-D coefficient matrix")
+        self.coeffs = coeffs
+        self.m, self.k = coeffs.shape
+        self.cols = [t for t in range(self.k) if coeffs[:, t].any()]
+        self.combined = self.m <= COMBINE_MAX_ROWS
+        self.tables: List[np.ndarray] = (
+            _combined_tables(coeffs, self.cols, pair_table8)
+            if self.combined
+            else []
+        )
+
+    @property
+    def nbytes(self) -> int:
+        return sum(t.nbytes for t in self.tables)
+
+    def apply(self, b: np.ndarray, check: bool = True) -> np.ndarray:
+        """``coeffs @ b`` over GF(256); ``b`` is (k, n) uint8."""
+        if check:
+            b = np.ascontiguousarray(b, dtype=np.uint8)
+            if b.ndim != 2 or b.shape[0] != self.k:
+                raise ValueError(
+                    f"plan shape mismatch: {self.coeffs.shape} @ {b.shape}"
+                )
+        n = b.shape[1]
+        if n % 2:
+            # Pad to an even byte count so the uint16 view is exact; the
+            # padded column is zero and multiplies to zero.
+            padded = np.zeros((self.k, n + 1), dtype=np.uint8)
+            padded[:, :n] = b
+            return np.ascontiguousarray(self.apply(padded, check=False)[:, :n])
+        out = np.zeros((self.m, n), dtype=np.uint8)
+        if n == 0:
+            return out
+        b16 = b.view(np.uint16)
+        out16 = out.view(np.uint16)
+        if self.combined:
+            _apply_combined(self.tables, self.cols, b16, out16)
+        else:
+            _apply_rows8(self.coeffs, self.cols, b16, out16)
+        return out
+
+
+class MulPlan16:
+    """A reusable bulk-multiply plan for a fixed GF(2^16) matrix.
+
+    Same shape contract as :func:`repro.gf.field16.gf16_matmul`:
+    ``apply(b)`` with ``b`` of uint16 symbols, (k, L) -> (m, L).
+    """
+
+    def __init__(self, coeffs: np.ndarray):
+        coeffs = np.ascontiguousarray(coeffs, dtype=np.uint16)
+        if coeffs.ndim != 2:
+            raise ValueError("MulPlan16 expects a 2-D coefficient matrix")
+        self.coeffs = coeffs
+        self.m, self.k = coeffs.shape
+        self.cols = [t for t in range(self.k) if coeffs[:, t].any()]
+        self.combined = self.m <= COMBINE_MAX_ROWS
+        self.tables: List[np.ndarray] = (
+            _combined_tables(coeffs, self.cols, mul_table16)
+            if self.combined
+            else []
+        )
+
+    @property
+    def nbytes(self) -> int:
+        return sum(t.nbytes for t in self.tables)
+
+    def apply(self, b: np.ndarray, check: bool = True) -> np.ndarray:
+        if check:
+            b = np.ascontiguousarray(b, dtype=np.uint16)
+            if b.ndim != 2 or b.shape[0] != self.k:
+                raise ValueError(
+                    f"plan shape mismatch: {self.coeffs.shape} @ {b.shape}"
+                )
+        out = np.zeros((self.m, b.shape[1]), dtype=np.uint16)
+        if b.shape[1] == 0:
+            return out
+        if self.combined:
+            _apply_combined(self.tables, self.cols, b, out)
+        else:
+            _apply_rows16(self.coeffs, self.cols, b, out)
+        return out
+
+
+# ---------------------------------------------------------------------------
+# global plan cache
+# ---------------------------------------------------------------------------
+
+_plan8_cache: "OrderedDict[Tuple[Tuple[int, int], bytes], MulPlan8]" = OrderedDict()
+_plan16_cache: "OrderedDict[Tuple[Tuple[int, int], bytes], MulPlan16]" = OrderedDict()
+
+
+def _plan_lookup(cache: OrderedDict, a: np.ndarray, cls):
+    key = (a.shape, a.tobytes())
+    plan = cache.get(key)
+    if plan is None:
+        plan = cls(a)
+        cache[key] = plan
+        while len(cache) > _PLAN_CACHE_MAX:
+            cache.popitem(last=False)
+    else:
+        cache.move_to_end(key)
+    return plan
+
+
+def plan_for_matrix(a: np.ndarray) -> MulPlan8:
+    """The cached :class:`MulPlan8` for this coefficient matrix.
+
+    Keyed by the matrix bytes in a small LRU, so repeated matmuls against
+    the same generator / inverse (every stripe of a code, every degraded
+    read of the same erasure pattern) reuse one table set.
+    """
+    return _plan_lookup(_plan8_cache, np.ascontiguousarray(a, dtype=np.uint8), MulPlan8)
+
+
+def plan_for_matrix16(a: np.ndarray) -> MulPlan16:
+    """The cached :class:`MulPlan16` for this GF(2^16) matrix."""
+    return _plan_lookup(
+        _plan16_cache, np.ascontiguousarray(a, dtype=np.uint16), MulPlan16
+    )
+
+
+def clear_plan_caches() -> None:
+    """Drop every cached plan and coefficient table (tests / memory)."""
+    _plan8_cache.clear()
+    _plan16_cache.clear()
+    _pair8_cache.clear()
+    _full16_cache.clear()
+
+
+# ---------------------------------------------------------------------------
+# scale-and-accumulate (the transcode primitive)
+# ---------------------------------------------------------------------------
+
+def gf_scale_xor(acc: np.ndarray, c: int, x: np.ndarray) -> np.ndarray:
+    """``acc ^= c * x`` over GF(2^8), in place, blocked for bulk chunks.
+
+    The inner step of every parity merge in the transcoder: one
+    coefficient streamed over one contiguous chunk. Falls back to the
+    byte-table gather for small or odd-length operands.
+    """
+    c = int(c)
+    if c == 0:
+        return acc
+    if c == 1:
+        np.bitwise_xor(acc, x, out=acc)
+        return acc
+    n = acc.shape[-1]
+    if (
+        acc.ndim != 1
+        or n < KERNEL_MIN_BYTES
+        or n % 2
+        or not acc.flags.c_contiguous
+        or not x.flags.c_contiguous
+    ):
+        np.bitwise_xor(acc, _MUL_TABLE[c, x], out=acc)
+        return acc
+    table = pair_table8(c)
+    a16 = acc.view(np.uint16)
+    x16 = x.view(np.uint16)
+    w = max(1024, TILE_BYTES // 4)
+    tmp = np.empty(min(w, a16.shape[0]), dtype=np.uint16)
+    for start in range(0, a16.shape[0], w):
+        stop = min(start + w, a16.shape[0])
+        ww = stop - start
+        np.take(table, x16[start:stop], out=tmp[:ww], mode="clip")
+        np.bitwise_xor(a16[start:stop], tmp[:ww], out=a16[start:stop])
+    return acc
+
+
+def gf_scale(c: int, x: np.ndarray) -> np.ndarray:
+    """``c * x`` over GF(2^8) for a contiguous chunk (allocating)."""
+    c = int(c)
+    if c == 0:
+        return np.zeros_like(x)
+    if c == 1:
+        return x.copy()
+    out = np.zeros_like(x)
+    return gf_scale_xor(out, c, x)
+
+
+def cache_stats() -> Dict[str, int]:
+    """Introspection for tests and the bench harness."""
+    return {
+        "plans8": len(_plan8_cache),
+        "plans16": len(_plan16_cache),
+        "coeff_tables8": len(_pair8_cache),
+        "coeff_tables16": len(_full16_cache),
+        "plan8_bytes": sum(p.nbytes for p in _plan8_cache.values()),
+        "plan16_bytes": sum(p.nbytes for p in _plan16_cache.values()),
+    }

@@ -10,7 +10,8 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro.gf.field import _MUL_TABLE, gf_inv, gf_pow
+from repro.gf.field import _EXP, _INV_TABLE, _LOG, FIELD_ORDER, _MUL_TABLE, gf_inv
+from repro.gf.kernels import KERNEL_MIN_BYTES, plan_for_matrix
 
 
 class SingularMatrixError(ValueError):
@@ -22,12 +23,13 @@ def gf_identity(n: int) -> np.ndarray:
     return np.eye(n, dtype=np.uint8)
 
 
-def gf_matmul(a: np.ndarray, b: np.ndarray) -> np.ndarray:
-    """Matrix product over GF(256).
+def gf_matmul_reference(a: np.ndarray, b: np.ndarray) -> np.ndarray:
+    """Reference matrix product over GF(256) (exact, fully vectorised).
 
-    Shapes follow numpy matmul rules for 2-D inputs: (m, k) @ (k, n).
-    Implemented as a table-lookup product followed by an XOR-reduction,
-    which is exact (no carries) and fully vectorised.
+    Materialises the full ``(m, n, k)`` table-lookup product before the
+    XOR-reduction — ideal for small matrices, quadratic-in-memory for
+    bulk chunk data. :func:`gf_matmul` dispatches here below the kernel
+    threshold; the differential tests pin the fast path to this one.
     """
     a = np.asarray(a, dtype=np.uint8)
     b = np.asarray(b, dtype=np.uint8)
@@ -38,6 +40,27 @@ def gf_matmul(a: np.ndarray, b: np.ndarray) -> np.ndarray:
     # products[i, j, t] = a[i, t] * b[t, j]
     products = _MUL_TABLE[a[:, None, :], b.T[None, :, :]]
     return np.bitwise_xor.reduce(products, axis=2)
+
+
+def gf_matmul(a: np.ndarray, b: np.ndarray) -> np.ndarray:
+    """Matrix product over GF(256), dispatching on operand size.
+
+    Shapes follow numpy matmul rules for 2-D inputs: (m, k) @ (k, n).
+    Small products (coefficient algebra: inverses, rank checks, narrow
+    solves) take :func:`gf_matmul_reference`; bulk chunk data dispatches
+    to the cache-blocked table kernels in :mod:`repro.gf.kernels`, which
+    are bit-identical but never materialise an ``(m, n, k)``
+    intermediate.
+    """
+    a = np.asarray(a, dtype=np.uint8)
+    b = np.asarray(b, dtype=np.uint8)
+    if a.ndim != 2 or b.ndim != 2:
+        raise ValueError("gf_matmul expects 2-D matrices")
+    if a.shape[1] != b.shape[0]:
+        raise ValueError(f"shape mismatch: {a.shape} @ {b.shape}")
+    if b.shape[1] >= KERNEL_MIN_BYTES and a.shape[0] > 0:
+        return plan_for_matrix(a).apply(b)
+    return gf_matmul_reference(a, b)
 
 
 def gf_matvec(a: np.ndarray, x: np.ndarray) -> np.ndarray:
@@ -119,13 +142,22 @@ def vandermonde(points, n_rows: int) -> np.ndarray:
         points: iterable of distinct nonzero field elements (columns).
         n_rows: number of rows (powers 0 .. n_rows-1).
     """
-    pts = list(points)
+    pts = [int(p) for p in points]
     if len(set(pts)) != len(pts):
         raise ValueError("Vandermonde evaluation points must be distinct")
-    out = np.zeros((n_rows, len(pts)), dtype=np.uint8)
-    for j, p in enumerate(pts):
-        for i in range(n_rows):
-            out[i, j] = gf_pow(int(p), i)
+    if n_rows == 0 or not pts:
+        return np.zeros((n_rows, len(pts)), dtype=np.uint8)
+    # p**i == exp[(i * log[p]) % order]; one outer product + one gather
+    # instead of the n_rows * len(pts) scalar gf_pow loop.
+    arr = np.asarray(pts, dtype=np.int64)
+    exponents = (np.arange(n_rows, dtype=np.int64)[:, None] * _LOG[arr][None, :]) % (
+        FIELD_ORDER
+    )
+    out = _EXP[exponents].astype(np.uint8)
+    zero_cols = arr == 0
+    if zero_cols.any():
+        out[:, zero_cols] = 0
+        out[0, zero_cols] = 1  # 0**0 == 1, matching gf_pow
     return out
 
 
@@ -145,11 +177,12 @@ def cauchy_matrix(xs, ys) -> np.ndarray:
         raise ValueError("Cauchy xs and ys must be disjoint")
     if len(set(xs)) != len(xs) or len(set(ys)) != len(ys):
         raise ValueError("Cauchy xs and ys must each be distinct")
-    out = np.zeros((len(xs), len(ys)), dtype=np.uint8)
-    for i, x in enumerate(xs):
-        for j, y in enumerate(ys):
-            out[i, j] = gf_inv(x ^ y)
-    return out
+    if not xs or not ys:
+        return np.zeros((len(xs), len(ys)), dtype=np.uint8)
+    # One XOR outer product + one inverse-table gather replaces the
+    # len(xs) * len(ys) scalar loop; disjointness guarantees no zeros.
+    diff = np.asarray(xs, dtype=np.int64)[:, None] ^ np.asarray(ys, dtype=np.int64)
+    return _INV_TABLE[diff].astype(np.uint8)
 
 
 def is_superregular(m: np.ndarray) -> bool:

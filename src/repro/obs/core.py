@@ -142,6 +142,19 @@ class Observability:
         self.registry.add_collector(collect)
         return self
 
+    def attach_codec(self, stats=None) -> "Observability":
+        """Expose the codec throughput ledger as registry series.
+
+        Defaults to the process-global
+        :data:`~repro.obs.codec.CODEC_STATS` that every
+        encode/decode in :mod:`repro.codes` records into.
+        """
+        from repro.obs.codec import CODEC_STATS, codec_samples
+
+        ledger = stats if stats is not None else CODEC_STATS
+        self.registry.add_collector(lambda: codec_samples(ledger))
+        return self
+
 
 class NoopObservability:
     """Disabled observability: shared, inert, allocation-free."""
@@ -157,6 +170,9 @@ class NoopObservability:
         return self
 
     def attach_metrics(self, metrics, capacity_fn=None) -> "NoopObservability":
+        return self
+
+    def attach_codec(self, stats=None) -> "NoopObservability":
         return self
 
 

@@ -51,6 +51,12 @@ def run_failure_burst_demo(
     cc69 = ECScheme(CodeKind.CC, 6, 9)
     cc1215 = ECScheme(CodeKind.CC, 12, 15)
     obs = Observability()
+    # Snapshot the process-global codec ledger so the report reflects
+    # only this scenario's encode/decode work.
+    from repro.obs.codec import CODEC_STATS
+
+    CODEC_STATS.reset()
+    obs.attach_codec()
     fs = MorphFS(
         chunk_size=chunk_kb * KB, future_widths=[6, 12], seed=seed, obs=obs
     )
@@ -190,6 +196,29 @@ def _maintenance_rows(registry) -> List[List[str]]:
     return rows
 
 
+def _codec_rows(registry) -> List[List[str]]:
+    per_op: Dict[str, Dict[str, float]] = {}
+    for sample in registry.collect():
+        if not sample.name.startswith("codec_") or sample.value is None:
+            continue
+        op = dict(sample.labels).get("op", "?")
+        per_op.setdefault(op, {})[sample.name] = sample.value
+    rows = []
+    for op in sorted(per_op):
+        s = per_op[op]
+        secs = s.get("codec_seconds", 0.0)
+        mb = s.get("codec_bytes", 0.0) / 1e6
+        rows.append(
+            [
+                op,
+                f"{s.get('codec_ops', 0.0):.0f}",
+                f"{mb:.1f}",
+                f"{mb / secs:.0f}" if secs > 0 else "-",
+            ]
+        )
+    return rows
+
+
 def render_report(fs) -> str:
     """Cluster health summary from a filesystem's live registry."""
     registry = fs.obs.registry
@@ -215,6 +244,14 @@ def render_report(fs) -> str:
         lines.append("Maintenance by task class")
         lines += _fmt_table(
             ["class", "done", "failed", "dead", "disk KB", "net KB"], maint_rows
+        )
+        lines.append("")
+
+    codec_rows = _codec_rows(registry)
+    if codec_rows:
+        lines.append("Codec throughput (wall clock, process-wide)")
+        lines += _fmt_table(
+            ["op", "ops", "MB", "MB/s"], codec_rows
         )
         lines.append("")
 
@@ -273,6 +310,14 @@ def run_selftest(seed: int = 0) -> int:
             registry.value(name)
         except KeyError:
             failures.append(f"missing registry series {name}")
+
+    codec_ops = {
+        dict(sample.labels).get("op")
+        for sample in registry.collect()
+        if sample.name == "codec_bytes"
+    }
+    if "encode" not in codec_ops:
+        failures.append("codec ledger recorded no encode samples")
 
     report = render_report(fs)
     if "Operation latency" not in report or "hot spots" not in report:

@@ -1,0 +1,359 @@
+"""Differential tests: the blocked GF kernels vs the reference matmuls.
+
+Every fast path must be *bit-identical* to the straightforward reference
+implementation — a GF kernel that is fast but off by one symbol corrupts
+stripes silently. Shapes are randomized but seeded, and the edge cases
+the kernels special-case (chunk_len 1, odd lengths, k=1, all-zero
+coefficients, the GF(2^16) zero-operand mask) are pinned explicitly.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.gf.field import _INV_TABLE, _MUL_TABLE, gf_pow
+from repro.gf.field16 import (
+    gf16_matmul,
+    gf16_matmul_reference,
+    gf16_mul,
+    gf16_pow,
+)
+from repro.gf.kernels import (
+    COMBINE_MAX_ROWS,
+    KERNEL_MIN_BYTES,
+    MulPlan8,
+    MulPlan16,
+    cache_stats,
+    clear_plan_caches,
+    gf_scale,
+    gf_scale_xor,
+    mul_table16,
+    pair_table8,
+    plan_for_matrix,
+    plan_for_matrix16,
+)
+from repro.gf.matrix import (
+    cauchy_matrix,
+    gf_matmul,
+    gf_matmul_reference,
+    vandermonde,
+)
+
+
+def _rand8(rng, *shape):
+    return rng.integers(0, 256, size=shape, dtype=np.uint8)
+
+
+def _rand16(rng, *shape):
+    return rng.integers(0, 1 << 16, size=shape, dtype=np.uint16)
+
+
+class TestMulPlan8Differential:
+    def test_randomized_shapes_bit_identical(self):
+        rng = np.random.default_rng(0xBEEF)
+        for _ in range(200):
+            m = int(rng.integers(1, 13))
+            k = int(rng.integers(1, 13))
+            n = int(rng.integers(1, 6000))
+            a = _rand8(rng, m, k)
+            b = _rand8(rng, k, n)
+            got = MulPlan8(a).apply(b)
+            want = gf_matmul_reference(a, b)
+            assert got.dtype == np.uint8
+            assert np.array_equal(got, want), (m, k, n)
+
+    @pytest.mark.parametrize("n", [1, 2, 3, 5, 4095, 4097, 8191])
+    def test_odd_and_tiny_lengths(self, n):
+        rng = np.random.default_rng(n)
+        a = _rand8(rng, 4, 7)
+        b = _rand8(rng, 7, n)
+        assert np.array_equal(MulPlan8(a).apply(b), gf_matmul_reference(a, b))
+
+    def test_k_equals_one(self):
+        rng = np.random.default_rng(1)
+        a = _rand8(rng, 5, 1)
+        b = _rand8(rng, 1, 10_000)
+        assert np.array_equal(MulPlan8(a).apply(b), gf_matmul_reference(a, b))
+
+    def test_all_zero_coefficients(self):
+        rng = np.random.default_rng(2)
+        a = np.zeros((3, 6), dtype=np.uint8)
+        b = _rand8(rng, 6, 9000)
+        out = MulPlan8(a).apply(b)
+        assert np.array_equal(out, np.zeros((3, 9000), dtype=np.uint8))
+
+    def test_wide_output_beyond_combine_limit(self):
+        # m > COMBINE_MAX_ROWS exercises the row-at-a-time fallback.
+        rng = np.random.default_rng(3)
+        m = COMBINE_MAX_ROWS + 4
+        a = _rand8(rng, m, 6)
+        b = _rand8(rng, 6, 9000)
+        assert np.array_equal(MulPlan8(a).apply(b), gf_matmul_reference(a, b))
+
+    def test_noncontiguous_input(self):
+        rng = np.random.default_rng(4)
+        a = _rand8(rng, 3, 6)
+        wide = _rand8(rng, 6, 12_000)
+        b = wide[:, ::2]  # strided view
+        assert np.array_equal(
+            MulPlan8(a).apply(np.ascontiguousarray(b)),
+            gf_matmul_reference(a, b),
+        )
+
+
+class TestMulPlan16Differential:
+    def test_randomized_shapes_bit_identical(self):
+        rng = np.random.default_rng(0xCAFE)
+        for _ in range(60):
+            m = int(rng.integers(1, 12))
+            k = int(rng.integers(1, 12))
+            n = int(rng.integers(1, 4000))
+            a = _rand16(rng, m, k)
+            b = _rand16(rng, k, n)
+            got = MulPlan16(a).apply(b)
+            want = gf16_matmul_reference(a, b)
+            assert got.dtype == np.uint16
+            assert np.array_equal(got, want), (m, k, n)
+
+    def test_zero_operand_mask(self):
+        # Zero symbols in the data must map to zero products even though
+        # the log-table route has no log(0): the mask is applied once per
+        # input row — verify a row that is *entirely* zeros and a row
+        # with scattered zeros.
+        rng = np.random.default_rng(5)
+        a = _rand16(rng, 9, 4)  # m > COMBINE_MAX_ROWS: hoisted-log path
+        b = _rand16(rng, 4, 5000)
+        b[1, :] = 0
+        b[2, ::7] = 0
+        assert np.array_equal(MulPlan16(a).apply(b), gf16_matmul_reference(a, b))
+
+    def test_zero_coefficients(self):
+        rng = np.random.default_rng(6)
+        a = _rand16(rng, 3, 5)
+        a[:, 2] = 0
+        a[1, :] = 0
+        b = _rand16(rng, 5, 3000)
+        assert np.array_equal(MulPlan16(a).apply(b), gf16_matmul_reference(a, b))
+
+    @pytest.mark.parametrize("n", [1, 3, 2047, 2049])
+    def test_odd_lengths(self, n):
+        rng = np.random.default_rng(n)
+        a = _rand16(rng, 4, 6)
+        b = _rand16(rng, 6, n)
+        assert np.array_equal(MulPlan16(a).apply(b), gf16_matmul_reference(a, b))
+
+
+class TestDispatch:
+    def test_gf_matmul_dispatches_above_threshold(self):
+        rng = np.random.default_rng(7)
+        a = _rand8(rng, 3, 6)
+        for n in (KERNEL_MIN_BYTES - 1, KERNEL_MIN_BYTES, KERNEL_MIN_BYTES + 1):
+            b = _rand8(rng, 6, n)
+            assert np.array_equal(gf_matmul(a, b), gf_matmul_reference(a, b))
+
+    def test_gf16_matmul_dispatches_above_threshold(self):
+        rng = np.random.default_rng(8)
+        a = _rand16(rng, 3, 6)
+        half = KERNEL_MIN_BYTES // 2
+        for n in (half - 1, half, half + 1):
+            b = _rand16(rng, 6, n)
+            assert np.array_equal(gf16_matmul(a, b), gf16_matmul_reference(a, b))
+
+    def test_plan_cache_reuses_plans(self):
+        clear_plan_caches()
+        rng = np.random.default_rng(9)
+        a = _rand8(rng, 3, 6)
+        p1 = plan_for_matrix(a)
+        p2 = plan_for_matrix(a.copy())  # same bytes, different object
+        assert p1 is p2
+        a16 = _rand16(rng, 3, 6)
+        assert plan_for_matrix16(a16) is plan_for_matrix16(a16.copy())
+        stats = cache_stats()
+        assert stats["plans8"] >= 1 and stats["plans16"] >= 1
+
+
+class TestScaleXor:
+    def test_matches_reference_large(self):
+        rng = np.random.default_rng(10)
+        x = _rand8(rng, 1 << 20)
+        for c in (0, 1, 2, 7, 255):
+            acc = _rand8(rng, 1 << 20)
+            want = acc ^ _MUL_TABLE[c, x]
+            got = gf_scale_xor(acc.copy(), c, x)
+            assert np.array_equal(got, want), c
+
+    def test_matches_reference_small_and_odd(self):
+        rng = np.random.default_rng(11)
+        for n in (1, 2, 3, 17, 4095, 4097):
+            x = _rand8(rng, n)
+            acc = _rand8(rng, n)
+            c = int(rng.integers(0, 256))
+            want = acc ^ _MUL_TABLE[c, x]
+            assert np.array_equal(gf_scale_xor(acc.copy(), c, x), want), (n, c)
+
+    def test_in_place_through_views(self):
+        # bandwidth.py accumulates into row slices of a 2-D parity array.
+        rng = np.random.default_rng(12)
+        parities = np.zeros((3, 12_000), dtype=np.uint8)
+        x = _rand8(rng, 6000)
+        gf_scale_xor(parities[1, 3000:9000], 7, x)
+        assert np.array_equal(parities[1, 3000:9000], _MUL_TABLE[7, x])
+        assert not parities[0].any() and not parities[2].any()
+
+    def test_gf_scale(self):
+        rng = np.random.default_rng(13)
+        x = _rand8(rng, 10_000)
+        assert np.array_equal(gf_scale(9, x), _MUL_TABLE[9, x])
+        assert np.array_equal(gf_scale(0, x), np.zeros_like(x))
+        assert np.array_equal(gf_scale(1, x), x)
+
+
+class TestCoefficientTables:
+    def test_pair_table8_is_positionwise_multiply(self):
+        # Entry for the byte pair (lo, hi) must be (c*lo, c*hi) packed the
+        # same way the uint16 view packs adjacent bytes — position
+        # preserving, hence endianness-independent.
+        rng = np.random.default_rng(14)
+        for c in (1, 2, 29, 255):
+            tab = pair_table8(c)
+            pairs = rng.integers(0, 1 << 16, size=256, dtype=np.uint16)
+            raw = pairs.view(np.uint8).reshape(-1, 2)
+            expect = _MUL_TABLE[c, raw].reshape(-1, 2).copy().view(np.uint16).ravel()
+            assert np.array_equal(tab[pairs], expect), c
+
+    def test_mul_table16_matches_gf16_mul(self):
+        rng = np.random.default_rng(15)
+        for c in (1, 2, 0x1234, 0xFFFF):
+            tab = mul_table16(c)
+            xs = rng.integers(0, 1 << 16, size=1000, dtype=np.uint16)
+            assert np.array_equal(tab[xs], gf16_mul(np.uint16(c), xs)), c
+
+
+class TestMatrixBuilders:
+    def test_vandermonde_matches_scalar_definition(self):
+        points = [1, 2, 3, 7, 0]
+        v = vandermonde(points, 6)
+        for i in range(6):
+            for j, p in enumerate(points):
+                assert v[i, j] == gf_pow(p, i), (i, j)
+
+    def test_vandermonde_rejects_duplicates(self):
+        with pytest.raises(ValueError):
+            vandermonde([1, 1], 3)
+
+    def test_cauchy_matches_scalar_definition(self):
+        xs, ys = [4, 5, 6], [0, 1, 2]
+        c = cauchy_matrix(xs, ys)
+        for i, x in enumerate(xs):
+            for j, y in enumerate(ys):
+                assert c[i, j] == _INV_TABLE[x ^ y], (i, j)
+
+    def test_vandermonde_parity_16_matches_scalar(self):
+        from repro.codes.wide import vandermonde_parity_16
+
+        points = [1, 2, 0x1234]
+        p = vandermonde_parity_16(points, 8)
+        for t in range(8):
+            for j, pt in enumerate(points):
+                assert p[t, j] == gf16_pow(pt, t), (t, j)
+
+    def test_vandermonde_parity_accepts_duplicates(self):
+        # Superregularity tests deliberately probe degenerate families.
+        from repro.codes.pointsearch import vandermonde_parity
+
+        p = vandermonde_parity([1, 1], 4)
+        assert np.array_equal(p[:, 0], p[:, 1])
+
+
+class TestDecodeRegression:
+    """decode() batched reconstruction == per-index reference decode."""
+
+    @pytest.mark.parametrize("chunk_len", [1, 3, 64, KERNEL_MIN_BYTES + 1])
+    def test_rs_decode_matches_per_index_reference(self, chunk_len):
+        from repro.codes.rs import ReedSolomon
+
+        rng = np.random.default_rng(chunk_len)
+        code = ReedSolomon(4, 7)
+        data = [_rand8(rng, chunk_len) for _ in range(4)]
+        stripe = code.encode_stripe(data)
+        erased = [1, 4, 6]
+        available = {
+            i: c for i, c in enumerate(stripe.chunks) if i not in erased
+        }
+        got = code.decode(available, erased)
+
+        # Reference: reconstruct each erased row separately from the same
+        # inverse (the pre-batching behaviour).
+        inv, use = code._decode_inverse(available)
+        stacked = np.stack([available[i] for i in use])
+        dmat = gf_matmul_reference(inv, stacked)
+        for idx in erased:
+            row = gf_matmul_reference(code.generator[idx : idx + 1, :], dmat)[0]
+            assert np.array_equal(got[idx], row), idx
+
+    def test_decode_inverse_cache_consistent_across_patterns(self):
+        from repro.codes.rs import ReedSolomon
+
+        rng = np.random.default_rng(42)
+        code = ReedSolomon(4, 7)
+        data = [_rand8(rng, 128) for _ in range(4)]
+        stripe = code.encode_stripe(data)
+        # Two different availability patterns sharing a sorted prefix.
+        for erased in ([5, 6], [4, 6], [5, 6], [0, 1, 2]):
+            avail = {
+                i: c for i, c in enumerate(stripe.chunks) if i not in erased
+            }
+            out = code.decode(avail, erased)
+            for idx in erased:
+                assert np.array_equal(out[idx], stripe.chunks[idx]), (erased, idx)
+
+    def test_wide_decode_batched_matches_roundtrip(self):
+        from repro.codes.wide import WideConvertibleCode
+
+        rng = np.random.default_rng(43)
+        code = WideConvertibleCode(5, 8)
+        data = [_rand8(rng, 256) for _ in range(5)]
+        parities = code.encode(data)
+        chunks = data + parities
+        erased = [0, 3, 6]  # data and parity mixed
+        available = {i: c for i, c in enumerate(chunks) if i not in erased}
+        out = code.decode(available, erased)
+        for idx in erased:
+            assert np.array_equal(out[idx], chunks[idx]), idx
+
+
+class TestCodecStats:
+    def test_encode_decode_record_into_ledger(self):
+        from repro.codes.rs import ReedSolomon
+        from repro.obs.codec import CodecStats, record_codec
+
+        stats = CodecStats()
+        with record_codec("encode", 6 * 1024, stats=stats):
+            pass
+        assert stats.ops["encode"] == 1
+        assert stats.bytes["encode"] == 6 * 1024
+        assert stats.seconds["encode"] >= 0
+
+        from repro.obs.codec import CODEC_STATS
+
+        CODEC_STATS.reset()
+        rng = np.random.default_rng(44)
+        code = ReedSolomon(3, 5)
+        data = [_rand8(rng, 512) for _ in range(3)]
+        stripe = code.encode_stripe(data)
+        code.decode(
+            {i: c for i, c in enumerate(stripe.chunks) if i != 0}, [0]
+        )
+        assert CODEC_STATS.bytes["encode"] == 3 * 512
+        assert CODEC_STATS.bytes["decode"] == 512
+        assert CODEC_STATS.rate_mb_s("encode") > 0
+
+    def test_record_skips_failed_operations(self):
+        from repro.obs.codec import CodecStats, record_codec
+
+        stats = CodecStats()
+        with pytest.raises(RuntimeError):
+            with record_codec("encode", 100, stats=stats):
+                raise RuntimeError("boom")
+        assert "encode" not in stats.ops
