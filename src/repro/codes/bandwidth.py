@@ -36,6 +36,10 @@ from repro.gf.matrix import SingularMatrixError, gf_identity, gf_matinv, gf_matm
 
 
 class BandwidthOptimalCC(ErasureCode):
+    #: Parities carry piggybacked substripe sums, not plain generator-row
+    #: products — the generic batched/fused codec paths must defer to the
+    #: per-stripe encode/decode here.
+    generator_encoded = False
     """BWO-CC(k, r_I -> r_F): stores r_I parities, converts into r_F.
 
     ``n = k + r_I`` chunks are stored; the code is built over the

@@ -106,6 +106,13 @@ class ErasureCode:
     ``i`` of the generator applied to the k data chunks.
     """
 
+    #: True when every stored chunk is exactly a generator-row product of
+    #: the data — the invariant the generic batched/fused paths rely on.
+    #: Codes with extra structure folded into their chunks (e.g. the BWO
+    #: piggybacked parities) set this False, and encode_batch /
+    #: decode_batch then defer to their per-stripe encode / decode.
+    generator_encoded = True
+
     def __init__(self, k: int, n: int):
         if not 0 < k < n:
             raise ValueError(f"need 0 < k < n, got k={k} n={n}")
@@ -119,6 +126,11 @@ class ErasureCode:
         self._decode_cache: "OrderedDict[Tuple[int, ...], Tuple[np.ndarray, List[int]]]" = (
             OrderedDict()
         )
+        # Composed (e, k) recovery transforms keyed by failure pattern
+        # (available-set, erased-set); see ErasureCode._recovery.
+        from repro.gf.kernels import PatternCache
+
+        self._pattern_cache = PatternCache()
 
     @property
     def r(self) -> int:
@@ -160,6 +172,119 @@ class ErasureCode:
         chunks = [np.asarray(c, dtype=np.uint8) for c in data_chunks] + parities
         return Stripe(self.k, self.n, chunks)
 
+    def encode_batch(
+        self, stripes: Sequence[Sequence[np.ndarray]]
+    ) -> List[List[np.ndarray]]:
+        """Parity chunks for many stripes in one kernel invocation each.
+
+        Stacks same-length stripes along the chunk axis into a single
+        ``(k, S*L)`` multiply per length group (a ragged final stripe
+        lands in its own group), amortising plan lookup, ``np.take``
+        dispatch, and per-call overhead across the batch. Bit-identical
+        to calling :meth:`encode` once per stripe.
+        """
+        if not self.generator_encoded:
+            return [self.encode(chunks) for chunks in stripes]
+        arrays = [
+            [np.asarray(c, dtype=np.uint8) for c in chunks] for chunks in stripes
+        ]
+        for chunks in arrays:
+            if len(chunks) != self.k:
+                raise ValueError(
+                    f"expected {self.k} data chunks per stripe, got {len(chunks)}"
+                )
+        from repro.gf.kernels import KERNEL_MIN_BYTES
+        from repro.gf.matrix import gf_matmul_reference
+
+        results: List[Optional[List[np.ndarray]]] = [None] * len(arrays)
+        groups: Dict[int, List[int]] = {}
+        for s, chunks in enumerate(arrays):
+            groups.setdefault(len(chunks[0]), []).append(s)
+        for length, members in groups.items():
+            batch = np.empty((self.k, length * len(members)), dtype=np.uint8)
+            for j, s in enumerate(members):
+                for t, c in enumerate(arrays[s]):
+                    batch[t, j * length : (j + 1) * length] = c
+            with record_codec("encode", batch.nbytes):
+                if batch.shape[1] >= KERNEL_MIN_BYTES:
+                    parities = self.encode_plan().apply(batch)
+                else:
+                    parities = gf_matmul_reference(self.generator[self.k :], batch)
+            for j, s in enumerate(members):
+                sl = slice(j * length, (j + 1) * length)
+                results[s] = [
+                    np.ascontiguousarray(parities[i, sl]) for i in range(self.r)
+                ]
+        return results  # type: ignore[return-value]
+
+    def decode_batch(
+        self,
+        availables: Sequence[Dict[int, np.ndarray]],
+        eraseds: Sequence[Sequence[int]],
+    ) -> List[Dict[int, np.ndarray]]:
+        """Recover erased chunks for many stripes at once.
+
+        Stripes sharing the same (available-set, erased-set, chunk
+        length) failure pattern — the shape of a node-failure burst —
+        are stacked along the chunk axis and recovered with a single
+        application of the fused pattern transform. Everything else
+        (short availability, unique patterns, subclass-specific repair
+        such as LRC local reconstruction) falls back to per-stripe
+        :meth:`decode`, so results are always bit-identical to the
+        per-stripe loop.
+        """
+        if len(availables) != len(eraseds):
+            raise ValueError("availables and eraseds must have equal length")
+        if not self.generator_encoded:
+            return [
+                self.decode(a, list(e)) for a, e in zip(availables, eraseds)
+            ]
+        results: List[Optional[Dict[int, np.ndarray]]] = [None] * len(availables)
+        groups: Dict[Tuple, List[int]] = {}
+        fallback: List[int] = []
+        for s, (available, erased) in enumerate(zip(availables, eraseds)):
+            erased = list(erased)
+            if not erased:
+                results[s] = {}
+                continue
+            if len(available) < self.k:
+                fallback.append(s)
+                continue
+            length = len(next(iter(available.values())))
+            key = (tuple(sorted(available)), tuple(erased), length)
+            groups.setdefault(key, []).append(s)
+        for key, members in groups.items():
+            avail_key, erased_key, length = key
+            fused = None
+            if len(members) > 1:
+                try:
+                    fused = self._recovery(availables[members[0]], list(erased_key))
+                except DecodeError:
+                    fused = None
+            if fused is None:
+                # Single-member groups and patterns the generic fused
+                # path cannot serve go through the subclass decode.
+                fallback.extend(members)
+                continue
+            batch = np.empty((self.k, length * len(members)), dtype=np.uint8)
+            for j, s in enumerate(members):
+                avail = availables[s]
+                for t, idx in enumerate(fused.use):
+                    batch[t, j * length : (j + 1) * length] = np.asarray(
+                        avail[idx], dtype=np.uint8
+                    )
+            with record_codec("decode", len(erased_key) * batch.shape[1]):
+                recovered = fused.apply(batch)
+            for j, s in enumerate(members):
+                sl = slice(j * length, (j + 1) * length)
+                results[s] = {
+                    idx: np.ascontiguousarray(recovered[i, sl])
+                    for i, idx in enumerate(erased_key)
+                }
+        for s in fallback:
+            results[s] = self.decode(availables[s], list(eraseds[s]))
+        return results  # type: ignore[return-value]
+
     def decode(
         self, available: Dict[int, np.ndarray], erased: Sequence[int]
     ) -> Dict[int, np.ndarray]:
@@ -175,8 +300,6 @@ class ErasureCode:
         Raises:
             DecodeError: if the available chunks are insufficient.
         """
-        from repro.gf.matrix import gf_matmul
-
         erased = list(erased)
         if not erased:
             return {}
@@ -184,14 +307,33 @@ class ErasureCode:
             raise DecodeError(
                 f"need {self.k} chunks to decode, only {len(available)} available"
             )
-        inv, use = self._decode_inverse(available)
-        stacked = np.stack([np.asarray(available[i], dtype=np.uint8) for i in use])
+        fused = self._recovery(available, erased)
+        stacked = np.stack(
+            [np.asarray(available[i], dtype=np.uint8) for i in fused.use]
+        )
         with record_codec("decode", len(erased) * stacked.shape[1]):
-            data = gf_matmul(inv, stacked)
-            # One stacked generator-row product reconstructs every erased
-            # chunk at once (the data matrix is already in place).
-            recovered = gf_matmul(self.generator[erased, :], data)
+            recovered = fused.apply(stacked)
         return {idx: recovered[j] for j, idx in enumerate(erased)}
+
+    def _recovery(self, available: Dict[int, np.ndarray], erased: Sequence[int]):
+        """The fused recovery transform for this failure pattern, cached.
+
+        Composes ``generator[erased] @ inv`` once in the symbol domain —
+        an (e, k) by (k, k) product over single field elements — so the
+        chunk-domain work per decode is one (e, k) product instead of a
+        (k, k) data-recovery matmul chained into an (e, k) re-encode.
+        """
+        from repro.gf.kernels import FusedDecode8
+        from repro.gf.matrix import gf_matmul_reference
+
+        key = ("mds", tuple(sorted(available)), tuple(erased))
+        fused = self._pattern_cache.get(key)
+        if fused is None:
+            inv, use = self._decode_inverse(available)
+            recovery = gf_matmul_reference(self.generator[list(erased), :], inv)
+            fused = FusedDecode8(recovery, use, erased)
+            self._pattern_cache.put(key, fused)
+        return fused
 
     def _decode_inverse(self, available: Dict[int, np.ndarray]):
         """(inverse, rows used) for this availability pattern, cached.

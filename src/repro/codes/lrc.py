@@ -24,7 +24,7 @@ from repro.gf.matrix import (
     cauchy_matrix,
     gf_identity,
     gf_matinv,
-    gf_matmul,
+    gf_matmul_reference,
     gf_rank,
 )
 
@@ -135,27 +135,36 @@ class LocalReconstructionCode(ErasureCode):
         avail = dict(available)
         avail.update(out)
         rows = sorted(avail)
-        sub = self.generator[rows, :]
-        if gf_rank(sub) < self.k:
-            raise DecodeError(
-                f"erasure pattern {sorted(erased)} is unrecoverable for {self!r}"
-            )
-        # Select k independent rows, invert, reconstruct data, re-encode.
-        chosen: List[int] = []
-        for row_idx in rows:
-            trial = chosen + [row_idx]
-            if gf_rank(self.generator[trial, :]) == len(trial):
-                chosen.append(row_idx)
-            if len(chosen) == self.k:
-                break
-        try:
-            inv = gf_matinv(self.generator[chosen, :])
-        except SingularMatrixError as exc:
-            raise DecodeError("internal: chosen rows not invertible") from exc
-        stacked = np.stack([np.asarray(avail[i], dtype=np.uint8) for i in chosen])
-        data = gf_matmul(inv, stacked)
-        # One stacked matmul reconstructs every remaining chunk.
-        recovered = gf_matmul(self.generator[remaining, :], data)
+        # Fused path: the row selection, inverse, and gen_rows @ inv
+        # composition depend only on the survivor/erasure pattern, so the
+        # composed (e, k) recovery matrix is cached per pattern and each
+        # repeat decode is a single chunk-domain product.
+        key = ("rows", tuple(rows), tuple(remaining))
+        fused = self._pattern_cache.get(key)
+        if fused is None:
+            if gf_rank(self.generator[rows, :]) < self.k:
+                raise DecodeError(
+                    f"erasure pattern {sorted(erased)} is unrecoverable for {self!r}"
+                )
+            # Select k independent rows, invert, compose the re-encode.
+            chosen: List[int] = []
+            for row_idx in rows:
+                trial = chosen + [row_idx]
+                if gf_rank(self.generator[trial, :]) == len(trial):
+                    chosen.append(row_idx)
+                if len(chosen) == self.k:
+                    break
+            try:
+                inv = gf_matinv(self.generator[chosen, :])
+            except SingularMatrixError as exc:
+                raise DecodeError("internal: chosen rows not invertible") from exc
+            from repro.gf.kernels import FusedDecode8
+
+            recovery = gf_matmul_reference(self.generator[remaining, :], inv)
+            fused = FusedDecode8(recovery, chosen, remaining)
+            self._pattern_cache.put(key, fused)
+        stacked = np.stack([np.asarray(avail[i], dtype=np.uint8) for i in fused.use])
+        recovered = fused.apply(stacked)
         for j, idx in enumerate(remaining):
             out[idx] = recovered[j]
         return out

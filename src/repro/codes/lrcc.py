@@ -37,7 +37,7 @@ from repro.gf.matrix import (
     SingularMatrixError,
     gf_identity,
     gf_matinv,
-    gf_matmul,
+    gf_matmul_reference,
     gf_rank,
 )
 
@@ -164,24 +164,32 @@ class LocallyRecoverableConvertibleCode(ErasureCode):
         avail = dict(available)
         avail.update(out)
         rows = sorted(avail)
-        if gf_rank(self.generator[rows, :]) < self.k:
-            raise DecodeError(
-                f"erasure pattern {sorted(erased)} unrecoverable for {self!r}"
-            )
-        chosen: List[int] = []
-        for row_idx in rows:
-            if gf_rank(self.generator[chosen + [row_idx], :]) == len(chosen) + 1:
-                chosen.append(row_idx)
-            if len(chosen) == self.k:
-                break
-        try:
-            inv = gf_matinv(self.generator[chosen, :])
-        except SingularMatrixError as exc:
-            raise DecodeError("internal: chosen rows not invertible") from exc
-        stacked = np.stack([np.asarray(avail[i], dtype=np.uint8) for i in chosen])
-        data = gf_matmul(inv, stacked)
-        # One stacked matmul reconstructs every remaining chunk.
-        recovered = gf_matmul(self.generator[remaining, :], data)
+        # Same fused per-pattern recovery as LRC: compose gen_rows @ inv
+        # once, cache it, decode with a single (e, k) chunk product.
+        key = ("rows", tuple(rows), tuple(remaining))
+        fused = self._pattern_cache.get(key)
+        if fused is None:
+            if gf_rank(self.generator[rows, :]) < self.k:
+                raise DecodeError(
+                    f"erasure pattern {sorted(erased)} unrecoverable for {self!r}"
+                )
+            chosen: List[int] = []
+            for row_idx in rows:
+                if gf_rank(self.generator[chosen + [row_idx], :]) == len(chosen) + 1:
+                    chosen.append(row_idx)
+                if len(chosen) == self.k:
+                    break
+            try:
+                inv = gf_matinv(self.generator[chosen, :])
+            except SingularMatrixError as exc:
+                raise DecodeError("internal: chosen rows not invertible") from exc
+            from repro.gf.kernels import FusedDecode8
+
+            recovery = gf_matmul_reference(self.generator[remaining, :], inv)
+            fused = FusedDecode8(recovery, chosen, remaining)
+            self._pattern_cache.put(key, fused)
+        stacked = np.stack([np.asarray(avail[i], dtype=np.uint8) for i in fused.use])
+        recovered = fused.apply(stacked)
         for j, idx in enumerate(remaining):
             out[idx] = recovered[j]
         return out

@@ -8,7 +8,7 @@ stripe's parities persist, so in the common case they never touch disk.
 
 from __future__ import annotations
 
-from typing import Dict
+from typing import Dict, Iterable, Tuple
 
 import numpy as np
 
@@ -60,6 +60,20 @@ class Datanode:
         self.metrics.record_transfer(src, self.node_id, data.nbytes, at=at)
         self.metrics.record_disk_write(self.node_id, data.nbytes, at=at)
         self._disk[chunk_id] = data.copy()
+
+    def receive_many_to_disk(
+        self,
+        items: Iterable[Tuple[str, np.ndarray]],
+        src: str,
+        at: float = 0.0,
+    ) -> None:
+        """Receive a batch of chunks from one sender in a single call.
+
+        Metering is per chunk (one network transfer + one disk write
+        each), identical to calling :meth:`receive_to_disk` in a loop.
+        """
+        for chunk_id, data in items:
+            self.receive_to_disk(chunk_id, data, src, at=at)
 
     def persist(self, chunk_id: str, at: float = 0.0) -> None:
         """Flush a buffered chunk to disk (frees the cache slot)."""
@@ -114,6 +128,13 @@ class Datanode:
         data = np.asarray(data, dtype=np.uint8)
         self.metrics.record_disk_write(self.node_id, data.nbytes, at=at)
         self._disk[chunk_id] = data.copy()
+
+    def store_local_many(
+        self, items: Iterable[Tuple[str, np.ndarray]], at: float = 0.0
+    ) -> None:
+        """Write a batch of locally computed chunks (per-chunk metering)."""
+        for chunk_id, data in items:
+            self.store_local(chunk_id, data, at=at)
 
     def charge_cpu(self, seconds: float) -> None:
         self.metrics.record_cpu(self.node_id, seconds)

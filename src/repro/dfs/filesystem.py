@@ -259,13 +259,17 @@ class _BaseDFS:
         placement = DefaultPlacement(self.cluster, seed=self.seed + zlib.crc32(meta.name.encode()) % 997)
         code = self.codec_for(ec)
         chunks = self._data_chunks(data, ec.k)
-        for s in range(0, len(chunks), ec.k):
-            stripe_chunks = chunks[s : s + ec.k]
-            parities = code.encode(stripe_chunks)
+        stripe_lists = [chunks[s : s + ec.k] for s in range(0, len(chunks), ec.k)]
+        # One batched kernel invocation computes every stripe's parities
+        # (bit-identical to per-stripe encode; placement and metering
+        # stay per stripe).
+        parities_batch = code.encode_batch(stripe_lists)
+        for stripe_index, stripe_chunks in enumerate(stripe_lists):
+            parities = parities_batch[stripe_index]
             self.charge_client_encode(ec.k, ec.n - ec.k, self.chunk_size)
             spots = placement.place_stripe(ec.k, ec.n - ec.k)
             stripe_meta = self._store_stripe(
-                meta, s // ec.k, stripe_chunks, parities, spots["data"], spots["parity"], ec
+                meta, stripe_index, stripe_chunks, parities, spots["data"], spots["parity"], ec
             )
             meta.stripes.append(stripe_meta)
 
@@ -432,13 +436,15 @@ class MorphFS(AppendSupport, _BaseDFS):
         placement = self._placement_for(meta.name, ec)
         code = self.codec_for(ec)
         chunks = self._data_chunks(data, ec.k)
-        for s in range(0, len(chunks), ec.k):
-            stripe_chunks = chunks[s : s + ec.k]
-            parities = code.encode(stripe_chunks)
+        stripe_lists = [chunks[s : s + ec.k] for s in range(0, len(chunks), ec.k)]
+        # Batched parity computation across every stripe of the file.
+        parities_batch = code.encode_batch(stripe_lists)
+        for stripe_index, stripe_chunks in enumerate(stripe_lists):
+            parities = parities_batch[stripe_index]
             self.charge_client_encode(ec.k, ec.n - ec.k, self.chunk_size)
-            spots = placement.place_stripe(meta.name, s // ec.k, ec.k, ec.n - ec.k)
+            spots = placement.place_stripe(meta.name, stripe_index, ec.k, ec.n - ec.k)
             stripe_meta = self._store_stripe(
-                meta, s // ec.k, stripe_chunks, parities, spots["data"], spots["parity"], ec
+                meta, stripe_index, stripe_chunks, parities, spots["data"], spots["parity"], ec
             )
             meta.stripes.append(stripe_meta)
 
@@ -461,6 +467,14 @@ class MorphFS(AppendSupport, _BaseDFS):
         placement = self._placement_for(meta.name, ec)
         code = self.codec_for(ec)
         chunks = self._data_chunks(data, ec.k)
+        stripe_lists = [chunks[s : s + ec.k] for s in range(0, len(chunks), ec.k)]
+        # Parities for every stripe in one batched kernel invocation; the
+        # CPU charge (striper vs client, per parity_mode) stays per
+        # stripe below, so accounting totals are unchanged.
+        if self.parity_mode == "none":
+            parities_batch: List[List[np.ndarray]] = [[] for _ in stripe_lists]
+        else:
+            parities_batch = code.encode_batch(stripe_lists)
         for s in range(0, len(chunks), ec.k):
             stripe_index = s // ec.k
             stripe_chunks = chunks[s : s + ec.k]
@@ -487,13 +501,10 @@ class MorphFS(AppendSupport, _BaseDFS):
             # Striping (§4.2 / Fig 6): the last replica holder distributes
             # the data chunks (they are the extra durable copy).
             striper = replica_nodes[-1]
-            if self.parity_mode == "none":
-                parities = []
-            elif self.parity_mode == "sync":
-                parities = code.encode(stripe_chunks)
+            parities = parities_batch[stripe_index]
+            if self.parity_mode == "sync":
                 self.charge_client_encode(ec.k, ec.n - ec.k, self.chunk_size)
-            else:
-                parities = code.encode(stripe_chunks)
+            elif self.parity_mode == "async":
                 self.charge_node_encode(striper, ec.k, ec.n - ec.k, self.chunk_size)
             parity_src = CLIENT if self.parity_mode == "sync" else striper
             stripe_meta = self._store_stripe(

@@ -107,11 +107,14 @@ class Scrubber:
             return report
         recovery = RecoveryManager(self.fs)
         corrupt_ids = {chunk_id for _f, chunk_id in report.corrupt}
-        for meta in list(self.fs.namenode.files.values()):
-            for chunk in meta.all_chunks():
-                if chunk.chunk_id in corrupt_ids:
-                    recovery.recover_chunk(meta, chunk)
-                    report.repaired += 1
+        pairs = [
+            (meta, chunk)
+            for meta in list(self.fs.namenode.files.values())
+            for chunk in meta.all_chunks()
+            if chunk.chunk_id in corrupt_ids
+        ]
+        # One batched pass: corrupt chunks of a stripe decode together.
+        report.repaired = recovery.recover_chunks(pairs)
         return report
 
 

@@ -47,10 +47,40 @@ class RecoveryManager:
 
     def recover_all(self) -> int:
         """Reconstruct every lost chunk; returns how many were rebuilt."""
+        return self.recover_chunks(self.lost_chunks())
+
+    def recover_chunks(self, pairs: List[Tuple[FileMeta, ChunkMeta]]) -> int:
+        """Rebuild many (file, chunk) pairs, batching stripe decodes.
+
+        Chunks with a cheaper dedicated path — replica copies, hybrid
+        replica-range reads, LRC local repair, non-generator (vector)
+        codes — keep the per-chunk pipeline. The rest group per stripe,
+        so a failure burst does ONE k-survivor fetch per stripe and one
+        batched kernel invocation per shared failure pattern instead of
+        a k-fetch-plus-decode per lost chunk.
+        """
+        singles: List[Tuple[FileMeta, ChunkMeta]] = []
+        stripe_jobs: Dict[int, Tuple[FileMeta, ECStripeMeta, List[ChunkMeta]]] = {}
+        for meta, chunk in pairs:
+            stripe = None
+            if chunk.kind is not ChunkKind.REPLICA and not meta.replica_blocks:
+                stripe = self._stripe_and_block(meta, chunk)
+            if stripe is None:
+                singles.append((meta, chunk))
+                continue
+            code = self.fs.codec_for_stripe(meta, stripe)
+            if hasattr(code, "group_members") or not getattr(
+                code, "generator_encoded", True
+            ):
+                singles.append((meta, chunk))
+                continue
+            job = stripe_jobs.setdefault(id(stripe), (meta, stripe, []))
+            job[2].append(chunk)
         count = 0
-        for meta, chunk in self.lost_chunks():
+        for meta, chunk in singles:
             self.recover_chunk(meta, chunk)
             count += 1
+        count += self._recover_stripes_batched(list(stripe_jobs.values()))
         return count
 
     # -- reconstruction ------------------------------------------------------------
@@ -75,8 +105,15 @@ class RecoveryManager:
         chunk.node_id = target
         return target
 
-    def _pick_target(self, meta: FileMeta, chunk: ChunkMeta) -> str:
+    def _pick_target(
+        self,
+        meta: FileMeta,
+        chunk: ChunkMeta,
+        extra_occupied: Optional[set] = None,
+    ) -> str:
         occupied = {c.node_id for c in meta.all_chunks() if c is not chunk}
+        if extra_occupied:
+            occupied |= extra_occupied
         for node in self.fs.cluster.alive_nodes():
             if node.node_id not in occupied:
                 return node.node_id
@@ -85,6 +122,112 @@ class RecoveryManager:
         if not alive:
             raise RecoveryError("no live nodes to rebuild onto")
         return alive[0].node_id
+
+    # -- batched stripe reconstruction ---------------------------------------
+    def _recover_stripes_batched(
+        self, jobs: List[Tuple[FileMeta, ECStripeMeta, List[ChunkMeta]]]
+    ) -> int:
+        """Rebuild stripe-homed chunks with batched decodes.
+
+        Per stripe: pick one target per lost chunk (mutually distinct),
+        fetch k survivors once to the first target (the *rebuilder*),
+        then decode every stripe sharing a code object with a single
+        :meth:`~repro.codes.base.ErasureCode.decode_batch` call, which
+        stacks same-failure-pattern stripes into one kernel invocation.
+        """
+        if not jobs:
+            return 0
+        plans = []
+        for meta, stripe, lost in jobs:
+            with self.fs.obs.span(
+                "repair", file=meta.name, kind="STRIPE_BATCH", lost=len(lost)
+            ):
+                plans.append(self._plan_stripe_repair(meta, stripe, lost))
+        by_code: Dict[int, List[dict]] = {}
+        for plan in plans:
+            by_code.setdefault(id(plan["code"]), []).append(plan)
+        for group in by_code.values():
+            code = group[0]["code"]
+            try:
+                batches = code.decode_batch(
+                    [p["available"] for p in group],
+                    [p["erased"] for p in group],
+                )
+            except DecodeError as exc:
+                names = ", ".join(sorted({p["meta"].name for p in group}))
+                raise RecoveryError(f"{names}: stripe batch beyond repair") from exc
+            for plan, recovered in zip(group, batches):
+                plan["recovered"] = recovered
+        return sum(self._store_stripe_repairs(plan) for plan in plans)
+
+    def _plan_stripe_repair(
+        self, meta: FileMeta, stripe: ECStripeMeta, lost: List[ChunkMeta]
+    ) -> dict:
+        chunks = stripe.all_chunks()
+        erased = sorted(chunks.index(c) for c in lost)
+        targets: Dict[int, str] = {}
+        taken: set = set()
+        for idx in erased:
+            target = self._pick_target(meta, chunks[idx], extra_occupied=taken)
+            targets[idx] = target
+            taken.add(target)
+        rebuilder = targets[erased[0]]
+        erased_set = set(erased)
+        available: Dict[int, np.ndarray] = {}
+        for idx in range(len(chunks)):
+            if idx in erased_set:
+                continue
+            data = self._fetch(chunks[idx], rebuilder)
+            if data is not None:
+                available[idx] = data
+                if len(available) >= stripe.k:
+                    break
+        return {
+            "meta": meta,
+            "stripe": stripe,
+            "code": self.fs.codec_for_stripe(meta, stripe),
+            "erased": erased,
+            "targets": targets,
+            "rebuilder": rebuilder,
+            "available": available,
+            "recovered": None,
+        }
+
+    def _store_stripe_repairs(self, plan: dict) -> int:
+        """Store decoded chunks and swap in the new metadata.
+
+        The rebuilder writes its own chunks locally; every other target
+        receives its chunks over the network in one batched transfer.
+        Decode CPU is charged at the rebuilder per recovered chunk,
+        matching the per-chunk pipeline's accounting.
+        """
+        meta = plan["meta"]
+        chunks = plan["stripe"].all_chunks()
+        rebuilder = plan["rebuilder"]
+        stores: Dict[str, List[Tuple[str, np.ndarray]]] = {}
+        updates: List[Tuple[ChunkMeta, str, str, np.ndarray]] = []
+        for idx in plan["erased"]:
+            chunk = chunks[idx]
+            data = plan["recovered"][idx]
+            new_id = self.fs.namenode.next_chunk_id(f"{meta.name}/recovered")
+            target = plan["targets"][idx]
+            stores.setdefault(target, []).append((new_id, data))
+            updates.append((chunk, new_id, target, data))
+            self.fs.charge_node_encode(
+                rebuilder, len(plan["available"]), 1, meta.chunk_size
+            )
+        for target, items in stores.items():
+            node = self.fs.datanodes[target]
+            if target == rebuilder:
+                node.store_local_many(items, at=self.fs.clock)
+            else:
+                node.receive_many_to_disk(items, src=rebuilder, at=self.fs.clock)
+        for chunk, new_id, target, data in updates:
+            self.fs.checksums.forget(chunk.chunk_id)
+            self.fs.checksums.record(new_id, data)
+            chunk.chunk_id = new_id
+            chunk.node_id = target
+        return len(updates)
 
     def _fetch(self, src: ChunkMeta, target: str) -> Optional[np.ndarray]:
         datanode = self.fs.datanodes[src.node_id]

@@ -179,12 +179,22 @@ def gf16_batch_det(mats: np.ndarray) -> np.ndarray:
 # byte <-> symbol packing
 # ---------------------------------------------------------------------------
 
-def bytes_to_symbols(data: np.ndarray) -> np.ndarray:
-    """Pack a uint8 chunk into uint16 symbols (little-endian pairs)."""
+def bytes_to_symbols(data: np.ndarray, copy: bool = True) -> np.ndarray:
+    """Pack a uint8 chunk into uint16 symbols (little-endian pairs).
+
+    ``copy=False`` returns a zero-copy view when the input is contiguous
+    and even-length — safe for read-only consumers (gather kernels); the
+    view aliases the caller's buffer.
+    """
     data = np.asarray(data, dtype=np.uint8).reshape(-1)
     if len(data) % 2:
         data = np.concatenate([data, np.zeros(1, dtype=np.uint8)])
-    return data.view("<u2").copy()
+        return data.view("<u2")  # already a private buffer
+    if not data.flags.c_contiguous:
+        data = np.ascontiguousarray(data)
+        return data.view("<u2")
+    view = data.view("<u2")
+    return view.copy() if copy else view
 
 
 def symbols_to_bytes(symbols: np.ndarray, length: int) -> np.ndarray:

@@ -219,6 +219,36 @@ def _codec_rows(registry) -> List[List[str]]:
     return rows
 
 
+def _kernel_cache_rows(stats: Dict[str, int]) -> List[List[str]]:
+    entries = {
+        "plan": stats.get("plans8", 0) + stats.get("plans16", 0),
+        "table": stats.get("coeff_tables8", 0) + stats.get("coeff_tables16", 0),
+        "pattern": stats.get("pattern_entries", 0),
+    }
+    resident = {
+        "plan": stats.get("plan8_bytes", 0) + stats.get("plan16_bytes", 0),
+        "table": stats.get("coeff_table_bytes", 0),
+        "pattern": stats.get("pattern_bytes", 0),
+    }
+    rows = []
+    for kind in ("plan", "table", "pattern"):
+        hits = stats.get(f"{kind}_hits", 0)
+        misses = stats.get(f"{kind}_misses", 0)
+        total = hits + misses
+        rows.append(
+            [
+                kind,
+                f"{entries[kind]}",
+                f"{hits}",
+                f"{misses}",
+                f"{stats.get(f'{kind}_evictions', 0)}",
+                f"{hits / total * 100:.0f}%" if total else "-",
+                f"{resident[kind] / 1e6:.1f}",
+            ]
+        )
+    return rows
+
+
 def render_report(fs) -> str:
     """Cluster health summary from a filesystem's live registry."""
     registry = fs.obs.registry
@@ -254,6 +284,20 @@ def render_report(fs) -> str:
             ["op", "ops", "MB", "MB/s"], codec_rows
         )
         lines.append("")
+
+    from repro.gf.kernels import cache_stats
+
+    kernel_stats = cache_stats()
+    lines.append("GF kernel caches (process-wide)")
+    lines += _fmt_table(
+        ["cache", "entries", "hits", "misses", "evict", "hit%", "MB"],
+        _kernel_cache_rows(kernel_stats),
+    )
+    lines.append(
+        f"Kernel tables resident: {kernel_stats['resident_bytes'] / 1e6:.1f} MB "
+        f"across {kernel_stats['pattern_caches']} pattern caches"
+    )
+    lines.append("")
 
     cap = registry.value("dfs_capacity_bytes")
     lines.append(
