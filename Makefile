@@ -3,7 +3,7 @@
 PYTHON ?= python
 export PYTHONPATH := src
 
-.PHONY: install test bench bench-suite figures examples all clean
+.PHONY: install test bench bench-suite profile figures examples all clean
 
 install:
 	pip install -e .
@@ -16,6 +16,9 @@ bench:
 
 bench-suite:
 	$(PYTHON) -m pytest benchmarks/ --benchmark-only -s
+
+profile:
+	$(PYTHON) -m repro profile
 
 figures:
 	$(PYTHON) -m repro all

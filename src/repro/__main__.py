@@ -10,6 +10,7 @@ Usage::
     python -m repro report --selftest    # verify observability invariants
     python -m repro bench                # codec perf -> BENCH_codec.json
     python -m repro bench --quick --check  # CI schema smoke, no overwrite
+    python -m repro profile              # cProfile the failure-burst sim
 """
 
 from __future__ import annotations
@@ -207,6 +208,10 @@ def main(argv=None) -> int:
         from repro.bench.micro import main as bench_main
 
         return bench_main(args[1:])
+    if args[0] == "profile":
+        from repro.bench.profile import main as profile_main
+
+        return profile_main(args[1:])
     targets = list(COMMANDS) if args == ["all"] else args
     unknown = [t for t in targets if t not in COMMANDS]
     if unknown:

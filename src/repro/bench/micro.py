@@ -49,14 +49,24 @@ def default_output() -> Path:
 
 def _best_seconds(fn: Callable[[], None], repeats: int, warmup: int = 2) -> float:
     """Best-of-N wall seconds for one call of ``fn`` (min is the most
-    repeatable point statistic for a throughput benchmark)."""
+    repeatable point statistic for a throughput benchmark).  The cyclic
+    GC is paused during timed runs — same policy as ``timeit`` — so an
+    unlucky collection inside one repeat doesn't pollute the sample."""
+    import gc
+
     for _ in range(warmup):
         fn()
-    best = float("inf")
-    for _ in range(repeats):
-        t0 = time.perf_counter()
-        fn()
-        best = min(best, time.perf_counter() - t0)
+    gc_was_enabled = gc.isenabled()
+    gc.disable()
+    try:
+        best = float("inf")
+        for _ in range(repeats):
+            t0 = time.perf_counter()
+            fn()
+            best = min(best, time.perf_counter() - t0)
+    finally:
+        if gc_was_enabled:
+            gc.enable()
     return best
 
 
@@ -227,12 +237,126 @@ def bench_event_engine(n_events: int, repeats: int) -> Dict[str, Dict]:
     }
 
 
+def bench_namenode_meta(n_files: int, repeats: int) -> Dict[str, Dict]:
+    """Namenode metadata throughput on a synthetic large namespace.
+
+    Builds ``n_files`` single-stripe files (2 data + 1 parity chunk,
+    round-robin over 64 nodes), then times the metadata ops the control
+    plane lives on: batched registration, lookups, batched chunk-id
+    minting and node-major chunk queries.  Also reports the wall-clock
+    of the metadata half of a failure burst — enumerating every chunk
+    homed on two dead nodes — which exercises the per-node chunk index
+    the way recovery's ``lost_chunks`` does.
+    """
+    from repro.core.schemes import CodeKind, ECScheme
+    from repro.dfs.blocks import ChunkKind, ChunkMeta, ECStripeMeta, FileMeta
+    from repro.dfs.namenode import Namenode
+
+    n_nodes = 64
+    nodes = [f"node{i:02d}" for i in range(n_nodes)]
+    scheme = ECScheme(CodeKind.RS, 2, 3)
+    chunk_size = 1 << 20
+
+    metas = []
+    for i in range(n_files):
+        base = (i * 3) % n_nodes
+        data = [
+            ChunkMeta(f"f{i}d0", nodes[base], ChunkKind.DATA, chunk_size),
+            ChunkMeta(f"f{i}d1", nodes[(base + 1) % n_nodes], ChunkKind.DATA, chunk_size),
+        ]
+        parity = [
+            ChunkMeta(f"f{i}p0", nodes[(base + 2) % n_nodes], ChunkKind.PARITY, chunk_size)
+        ]
+        stripe = ECStripeMeta(stripe_index=0, k=2, n=3, data=data, parities=parity)
+        metas.append(
+            FileMeta(
+                name=f"file-{i:07d}",
+                size=2 * chunk_size,
+                chunk_size=chunk_size,
+                scheme=scheme,
+                stripes=[stripe],
+            )
+        )
+
+    # Registration rebuilds a fresh namenode per repeat; bound the repeat
+    # count at large scale (one pass is seconds long — noise amortizes).
+    reg_repeats = min(repeats, 2) if n_files >= 200_000 else repeats
+    namenode = Namenode()
+    reg_best = float("inf")
+    for _ in range(reg_repeats):
+        namenode = Namenode()
+        t0 = time.perf_counter()
+        namenode.register_files(metas)
+        reg_best = min(reg_best, time.perf_counter() - t0)
+
+    n_lookups = min(n_files, 200_000)
+    step = max(1, n_files // n_lookups)
+    names = [f"file-{i:07d}" for i in range(0, n_files, step)][:n_lookups]
+
+    def do_lookups() -> None:
+        lookup = namenode.lookup
+        for name in names:
+            lookup(name)
+
+    mint_batches, mint_width = 1_000, 64
+
+    def do_mint() -> None:
+        next_ids = namenode.next_chunk_ids
+        for _ in range(mint_batches):
+            next_ids("bench", mint_width)
+
+    def do_queries() -> None:
+        query = namenode.chunks_on_node
+        for node in nodes:
+            query(node)
+
+    look_secs = _best_seconds(do_lookups, repeats, warmup=1)
+    mint_secs = _best_seconds(do_mint, repeats, warmup=1)
+    query_secs = _best_seconds(do_queries, max(2, repeats // 2), warmup=1)
+
+    ops = n_files + len(names) + mint_batches * mint_width + n_nodes
+    secs = reg_best + look_secs + mint_secs + query_secs
+
+    dead = nodes[:2]
+    burst_best = float("inf")
+    lost = 0
+    for _ in range(max(2, repeats // 2)):
+        t0 = time.perf_counter()
+        lost = sum(len(namenode.chunks_on_node(node)) for node in dead)
+        burst_best = min(burst_best, time.perf_counter() - t0)
+
+    return {
+        "namenode_meta_ops_per_s": _metric(
+            ops / secs,
+            "ops/s",
+            n_files=n_files,
+            n_nodes=n_nodes,
+            lookups=len(names),
+            minted_ids=mint_batches * mint_width,
+            node_queries=n_nodes,
+        ),
+        "meta_failure_burst_wall_s": _metric(
+            burst_best,
+            "s",
+            n_files=n_files,
+            n_nodes=n_nodes,
+            dead_nodes=len(dead),
+            lost_chunks=lost,
+        ),
+    }
+
+
 def run_benchmarks(quick: bool = False) -> Dict[str, Dict]:
     """All benchmark metrics, in a deterministic order."""
     chunk = 256 * 1024 if quick else 1024 * 1024
     # Best-of-N wall times; generous N because shared machines are noisy.
     repeats = 3 if quick else 9
-    events = 2_000 if quick else 20_000
+    # 200k events keeps one timed run ~60ms — long enough that scheduler
+    # jitter on a shared box doesn't dominate the best-of-N sample.
+    events = 2_000 if quick else 200_000
+    # The namenode bench is the million-file target from the control-plane
+    # work; quick mode shrinks the namespace so CI stays fast.
+    files = 50_000 if quick else 1_000_000
 
     metrics: Dict[str, Dict] = {}
     metrics.update(bench_gf256_encode(chunk, repeats))
@@ -243,6 +367,7 @@ def run_benchmarks(quick: bool = False) -> Dict[str, Dict]:
     metrics.update(bench_gf256_transcode(chunk, repeats))
     metrics.update(bench_gf16_wide(chunk, repeats))
     metrics.update(bench_event_engine(events, repeats))
+    metrics.update(bench_namenode_meta(files, repeats))
     return metrics
 
 

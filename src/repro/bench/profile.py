@@ -1,0 +1,94 @@
+"""cProfile harness for the control-plane hot paths.
+
+``python -m repro profile`` runs the failure-burst maintenance
+simulation (the workload that drives the event engine, the scheduler and
+the resource layer together) under :mod:`cProfile` and prints the top-N
+functions by cumulative time.  This is the loop the control-plane fast
+path was tuned against; when a regression lands, the table points at the
+layer that regressed before anyone has to bisect.
+
+``--target namenode`` profiles the synthetic large-namespace metadata
+benchmark instead (batched registration + lookups + per-node chunk
+queries), which is the other half of the control plane.
+"""
+
+from __future__ import annotations
+
+import argparse
+import cProfile
+import pstats
+from typing import List, Optional
+
+
+def profile_failure_burst(scale: float = 1.0) -> cProfile.Profile:
+    """Profile one unthrottled + one throttled burst run."""
+    from repro.sched.simulate import SimConfig, compare_budgets
+
+    cfg = SimConfig(
+        n_repairs=int(96 * scale),
+        duration_s=30.0 * max(1.0, scale),
+        read_interarrival_s=0.04 / max(1.0, scale),
+    )
+    prof = cProfile.Profile()
+    prof.enable()
+    compare_budgets(cfg)
+    prof.disable()
+    return prof
+
+
+def profile_namenode(n_files: int = 200_000) -> cProfile.Profile:
+    """Profile the synthetic namespace metadata benchmark."""
+    from repro.bench.micro import bench_namenode_meta
+
+    prof = cProfile.Profile()
+    prof.enable()
+    bench_namenode_meta(n_files, repeats=2)
+    prof.disable()
+    return prof
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro profile", description=__doc__
+    )
+    parser.add_argument(
+        "--target",
+        choices=("burst", "namenode"),
+        default="burst",
+        help="workload to profile (default: the failure-burst simulation)",
+    )
+    parser.add_argument(
+        "--top", type=int, default=25, help="rows to print (default 25)"
+    )
+    parser.add_argument(
+        "--scale",
+        type=float,
+        default=1.0,
+        help="burst load multiplier (repairs and read rate)",
+    )
+    parser.add_argument(
+        "--files",
+        type=int,
+        default=200_000,
+        help="namespace size for --target namenode",
+    )
+    parser.add_argument(
+        "--sort",
+        choices=("cumulative", "tottime", "ncalls"),
+        default="cumulative",
+    )
+    args = parser.parse_args(argv)
+
+    if args.target == "burst":
+        prof = profile_failure_burst(scale=args.scale)
+    else:
+        prof = profile_namenode(n_files=args.files)
+
+    stats = pstats.Stats(prof)
+    stats.sort_stats(args.sort)
+    stats.print_stats(args.top)
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

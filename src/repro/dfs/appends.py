@@ -81,6 +81,7 @@ class AppendSupport:
             stripe.parities.append(
                 ChunkMeta(chunk_id, parity_nodes[j], kinds[j], parity.nbytes)
             )
+            self.namenode.note_chunk(parity_nodes[j], meta.name)
         stripe.n = stripe.k + ec.r
         self._trim_extra_replica(meta, meta.replica_blocks[-1], meta.scheme.copies)
         return meta

@@ -211,8 +211,12 @@ class _BaseDFS:
         """Mirror a block down a chain of nodes (HDFS-style pipeline)."""
         copies: List[ChunkMeta] = []
         prev = CLIENT
+        note_chunk = self.namenode.note_chunk
+        chunk_ids = self.namenode.next_chunk_ids(
+            f"{meta.name}/r{block_index}c", len(nodes)
+        )
         for i, node_id in enumerate(nodes):
-            chunk_id = self.namenode.next_chunk_id(f"{meta.name}/r{block_index}c{i}")
+            chunk_id = chunk_ids[i]
             datanode = self.datanodes[node_id]
             if to_memory:
                 datanode.receive_to_memory(chunk_id, block_bytes, src=prev)
@@ -223,6 +227,7 @@ class _BaseDFS:
                 copies.append(
                     ChunkMeta(chunk_id, node_id, ChunkKind.REPLICA, block_bytes.nbytes)
                 )
+                note_chunk(node_id, meta.name)
             prev = node_id
         if to_memory:
             for i in range(persist_count):
@@ -287,16 +292,22 @@ class _BaseDFS:
     ) -> ECStripeMeta:
         parity_src = parity_src or src
         k = len(data_chunks)
+        note_chunk = self.namenode.note_chunk
+        data_ids = self.namenode.next_chunk_ids(f"{meta.name}/s{stripe_index}d", k)
         data_metas: List[ChunkMeta] = []
         for t, chunk in enumerate(data_chunks):
-            chunk_id = self.namenode.next_chunk_id(f"{meta.name}/s{stripe_index}d{t}")
+            chunk_id = data_ids[t]
             self.datanodes[data_nodes[t]].receive_to_disk(chunk_id, chunk, src=src, at=self.clock)
             self.checksums.record(chunk_id, chunk)
             data_metas.append(ChunkMeta(chunk_id, data_nodes[t], ChunkKind.DATA, chunk.nbytes))
+            note_chunk(data_nodes[t], meta.name)
         parity_metas: List[ChunkMeta] = []
         kinds = self._parity_kinds(ec)
+        parity_ids = self.namenode.next_chunk_ids(
+            f"{meta.name}/s{stripe_index}p", len(parities)
+        )
         for j, parity in enumerate(parities):
-            chunk_id = self.namenode.next_chunk_id(f"{meta.name}/s{stripe_index}p{j}")
+            chunk_id = parity_ids[j]
             self.datanodes[parity_nodes[j]].receive_to_disk(
                 chunk_id, parity, src=parity_src, at=self.clock
             )
@@ -304,6 +315,7 @@ class _BaseDFS:
             parity_metas.append(
                 ChunkMeta(chunk_id, parity_nodes[j], kinds[j], parity.nbytes)
             )
+            note_chunk(parity_nodes[j], meta.name)
         return ECStripeMeta(
             stripe_index=stripe_index,
             k=k,
@@ -524,8 +536,10 @@ class MorphFS(AppendSupport, _BaseDFS):
             # Parities persisted: temporary replicas leave memory for free.
             for i, node_id in enumerate(replica_nodes):
                 if i >= persist_replicas:
-                    # temp replica chunk id reconstructed from pipeline order
-                    chunk_id = f"{meta.name}/r{stripe_index}c{i}"
+                    # Temp replica ids share the block's batched-mint
+                    # prefix; each pipeline node holds one copy, so the
+                    # (node, prefix) pair pins it exactly.
+                    chunk_id = f"{meta.name}/r{stripe_index}c"
                     self._drop_temp_replica(node_id, chunk_id)
 
     def _drop_temp_replica(self, node_id: str, chunk_id_prefix: str) -> None:
@@ -715,6 +729,7 @@ class MorphFS(AppendSupport, _BaseDFS):
             self.datanodes[node].receive_to_disk(chunk_id, parity, src=striper, at=self.clock)
             self.checksums.record(chunk_id, parity)
             stripe.parities.append(ChunkMeta(chunk_id, node, kinds[j], parity.nbytes))
+            self.namenode.note_chunk(node, meta.name)
         stripe.n = stripe.k + len(stripe.parities)
 
     def _build_groups(

@@ -20,7 +20,8 @@ from __future__ import annotations
 
 from collections import deque
 from dataclasses import dataclass, field
-from typing import Deque, Dict, List, Optional, Tuple
+from sys import intern as _intern
+from typing import Deque, Dict, Iterable, List, Optional, Tuple
 
 from repro.core.schemes import RedundancyScheme
 from repro.dfs.blocks import ChunkMeta, ECStripeMeta, FileMeta, FileState
@@ -75,12 +76,54 @@ class Namenode:
         #: undergoing-transcoding map: file -> job state
         self.utm: Dict[str, TranscodeJob] = {}
         self._chunk_seq = 0
+        #: per-node chunk index: node_id -> {file_name: None} for every
+        #: file with at least one chunk homed on the node.  A dict (not a
+        #: set) so iteration order is insertion order, independent of str
+        #: hash randomization — node-major scans stay run-deterministic.
+        #: Maintained incrementally on register/note/finalize; removals
+        #: are lazy (see chunks_on_node), so a stale name is harmless but
+        #: a *missing* one would be a bug: every code path that homes a
+        #: chunk on a node must call note_chunk/note_file.
+        self._node_files: Dict[str, Dict[str, None]] = {}
+        #: registration order of live files, so node-major queries can
+        #: present results in the same file order as a full namespace
+        #: scan would (keeps repair ordering identical to the O(files)
+        #: implementation this index replaced).
+        self._file_order: Dict[str, int] = {}
+        self._file_seq = 0
 
     # -- namespace --------------------------------------------------------
     def register_file(self, meta: FileMeta) -> None:
         if meta.name in self.files:
             raise ValueError(f"file exists: {meta.name}")
+        meta.name = _intern(meta.name)
         self.files[meta.name] = meta
+        self._file_seq += 1
+        self._file_order[meta.name] = self._file_seq
+        self.note_file(meta)
+
+    def register_files(self, metas: Iterable[FileMeta]) -> None:
+        """Batched ingest registration: one call for a whole batch of
+        files, resolving the per-call attribute/method overhead once."""
+        files = self.files
+        order = self._file_order
+        node_files = self._node_files
+        seq = self._file_seq
+        for meta in metas:
+            name = _intern(meta.name)
+            if name in files:
+                raise ValueError(f"file exists: {name}")
+            meta.name = name
+            files[name] = meta
+            seq += 1
+            order[name] = seq
+            for chunk in meta.all_chunks():
+                index = node_files.get(chunk.node_id)
+                if index is None:
+                    node_files[_intern(chunk.node_id)] = {name: None}
+                else:
+                    index[name] = None
+        self._file_seq = seq
 
     def lookup(self, name: str) -> FileMeta:
         try:
@@ -89,16 +132,52 @@ class Namenode:
             raise FileNotFoundError_(name) from None
 
     def unregister_file(self, name: str) -> FileMeta:
-        return self.files.pop(name)
+        meta = self.files.pop(name)
+        self._file_order.pop(name, None)
+        # Per-node index entries are left behind and purged lazily by
+        # chunks_on_node — deletion stays O(1) regardless of file size.
+        return meta
 
     def next_chunk_id(self, prefix: str) -> str:
         self._chunk_seq += 1
         return f"{prefix}#{self._chunk_seq:08d}"
 
+    def next_chunk_ids(self, prefix: str, count: int) -> List[str]:
+        """Batched id mint: one namenode round-trip for a whole stripe
+        or replica pipeline instead of one per chunk."""
+        start = self._chunk_seq + 1
+        self._chunk_seq += count
+        return [f"{prefix}#{i:08d}" for i in range(start, start + count)]
+
     def rename(self, old: str, new: str) -> None:
         meta = self.unregister_file(old)
         meta.name = new
         self.register_file(meta)
+
+    # -- per-node chunk index ----------------------------------------------
+    def note_chunk(self, node_id: str, file_name: str) -> None:
+        """Record that ``file_name`` now has a chunk homed on ``node_id``.
+
+        Every path that places or moves a chunk must call this (or
+        :meth:`note_file`); the index has no other way to learn about
+        placements, and node-major queries trust it exhaustively.
+        """
+        index = self._node_files.get(node_id)
+        if index is None:
+            self._node_files[_intern(node_id)] = {file_name: None}
+        else:
+            index[file_name] = None
+
+    def note_file(self, meta: FileMeta) -> None:
+        """Index every current chunk placement of ``meta``."""
+        node_files = self._node_files
+        name = meta.name
+        for chunk in meta.all_chunks():
+            index = node_files.get(chunk.node_id)
+            if index is None:
+                node_files[_intern(chunk.node_id)] = {name: None}
+            else:
+                index[name] = None
 
     # -- transcode lifecycle -------------------------------------------------
     def enqueue_transcode(
@@ -212,6 +291,9 @@ class Namenode:
         meta.state = FileState.HEALTHY
         meta.version += 1
         del self.utm[name]
+        # The new stripes' parities may live on nodes the file never
+        # touched before the switch.
+        self.note_file(meta)
         return old_parities
 
     def abort_transcode(self, name: str) -> None:
@@ -248,13 +330,43 @@ class Namenode:
             # In-flight transcodes died with the old process; their files
             # revert to HEALTHY under the old (still valid) metadata.
             meta.state = FileState.HEALTHY
+            node._file_seq += 1
+            node._file_order[meta.name] = node._file_seq
+            node.note_file(meta)
         return node
 
     # -- capacity / health --------------------------------------------------
     def chunks_on_node(self, node_id: str) -> List[Tuple[FileMeta, ChunkMeta]]:
-        out = []
-        for meta in self.files.values():
-            for chunk in meta.all_chunks():
-                if chunk.node_id == node_id:
-                    out.append((meta, chunk))
+        """All (file, chunk) pairs currently homed on ``node_id``.
+
+        O(index entries for the node), not O(all files): only files the
+        per-node index knows to have touched the node are scanned.  Index
+        entries whose file no longer has a chunk here (deleted, moved by
+        repair or transcode) are purged as they are encountered, so the
+        index self-heals without any unindex hooks on the removal paths.
+        Results come out in file-registration order — the same order a
+        full namespace scan would produce.
+        """
+        index = self._node_files.get(node_id)
+        if index is None:
+            return []
+        out: List[Tuple[FileMeta, ChunkMeta]] = []
+        stale: List[str] = []
+        files = self.files
+        order = self._file_order
+        names = sorted(index, key=lambda n: order.get(n, 0)) if len(index) > 1 else index
+        for name in names:
+            meta = files.get(name)
+            found = False
+            if meta is not None:
+                for chunk in meta.all_chunks():
+                    if chunk.node_id == node_id:
+                        out.append((meta, chunk))
+                        found = True
+            if not found:
+                stale.append(name)
+        for name in stale:
+            del index[name]
+        if not index:
+            del self._node_files[node_id]
         return out

@@ -37,11 +37,33 @@ class RecoveryManager:
 
     # -- detection -------------------------------------------------------------
     def lost_chunks(self) -> List[Tuple[FileMeta, ChunkMeta]]:
-        """All (file, chunk) pairs homed on dead nodes."""
-        out = []
-        for meta in self.fs.namenode.files.values():
+        """All (file, chunk) pairs homed on dead nodes.
+
+        Node-major via the namenode's per-node chunk index: cost scales
+        with the dead nodes' populations, not the whole namespace.  The
+        output keeps the historical file-major order (registration order,
+        chunks within a file in layout order) so repair scheduling is
+        unchanged from the full-scan implementation.
+        """
+        namenode = self.fs.namenode
+        dead = [
+            node_id
+            for node_id, datanode in self.fs.datanodes.items()
+            if not datanode.is_alive
+        ]
+        if not dead:
+            return []
+        candidates: Dict[str, None] = {}
+        for node_id in dead:
+            for meta, _chunk in namenode.chunks_on_node(node_id):
+                candidates[meta.name] = None
+        order = namenode._file_order
+        out: List[Tuple[FileMeta, ChunkMeta]] = []
+        datanodes = self.fs.datanodes
+        for name in sorted(candidates, key=lambda n: order.get(n, 0)):
+            meta = namenode.files[name]
             for chunk in meta.all_chunks():
-                if not self.fs.datanodes[chunk.node_id].is_alive:
+                if not datanodes[chunk.node_id].is_alive:
                     out.append((meta, chunk))
         return out
 
@@ -103,6 +125,7 @@ class RecoveryManager:
         self.fs.checksums.record(new_id, data)
         chunk.chunk_id = new_id
         chunk.node_id = target
+        self.fs.namenode.note_chunk(target, meta.name)
         return target
 
     def _pick_target(
@@ -227,6 +250,7 @@ class RecoveryManager:
             self.fs.checksums.record(new_id, data)
             chunk.chunk_id = new_id
             chunk.node_id = target
+            self.fs.namenode.note_chunk(target, meta.name)
         return len(updates)
 
     def _fetch(self, src: ChunkMeta, target: str) -> Optional[np.ndarray]:

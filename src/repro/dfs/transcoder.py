@@ -360,6 +360,7 @@ class NativeTranscoder:
             source.delete(chunk.chunk_id)
             chunk.chunk_id = new_id
             chunk.node_id = fresh
+            self.fs.namenode.note_chunk(fresh, meta.name)
             seen.add(fresh)
 
     def _assemble_final_meta(

@@ -76,6 +76,9 @@ class Tracer:
         self.dropped = 0
         self._stack: List[Span] = []
         self._next_id = 0
+        #: op name -> latency histogram, so _finish resolves the
+        #: (metric, labels) registry lookup once per op, not per span.
+        self._op_hists: dict = {}
 
     def span(self, name: str, **attrs) -> Span:
         parent = self._stack[-1] if self._stack else None
@@ -103,9 +106,11 @@ class Tracer:
         else:
             self.dropped += 1
         if self.registry is not None:
-            self.registry.histogram(OP_LATENCY_METRIC, op=span.name).record(
-                span.duration
-            )
+            hist = self._op_hists.get(span.name)
+            if hist is None:
+                hist = self.registry.histogram(OP_LATENCY_METRIC, op=span.name)
+                self._op_hists[span.name] = hist
+            hist.record(span.duration)
 
     # -- views ---------------------------------------------------------------
     def spans(self, name: Optional[str] = None) -> List[Span]:
