@@ -247,12 +247,21 @@ def bench_namenode_meta(n_files: int, repeats: int) -> Dict[str, Dict]:
     of the metadata half of a failure burst — enumerating every chunk
     homed on two dead nodes — which exercises the per-node chunk index
     the way recovery's ``lost_chunks`` does.
+
+    The same fixture is measured twice: a single in-memory ``Namenode``
+    and an 8-way :class:`~repro.dfs.shards.ShardedNamenode`, so the
+    sharding facade's routing overhead (and any win from smaller
+    per-shard dicts) shows up in the perf trajectory.
     """
+    import gc
+
     from repro.core.schemes import CodeKind, ECScheme
     from repro.dfs.blocks import ChunkKind, ChunkMeta, ECStripeMeta, FileMeta
     from repro.dfs.namenode import Namenode
+    from repro.dfs.shards import ShardedNamenode
 
     n_nodes = 64
+    n_shards = 8
     nodes = [f"node{i:02d}" for i in range(n_nodes)]
     scheme = ECScheme(CodeKind.RS, 2, 3)
     chunk_size = 1 << 20
@@ -278,70 +287,81 @@ def bench_namenode_meta(n_files: int, repeats: int) -> Dict[str, Dict]:
             )
         )
 
-    # Registration rebuilds a fresh namenode per repeat; bound the repeat
-    # count at large scale (one pass is seconds long — noise amortizes).
-    reg_repeats = min(repeats, 2) if n_files >= 200_000 else repeats
-    namenode = Namenode()
-    reg_best = float("inf")
-    for _ in range(reg_repeats):
-        namenode = Namenode()
-        t0 = time.perf_counter()
-        namenode.register_files(metas)
-        reg_best = min(reg_best, time.perf_counter() - t0)
-
     n_lookups = min(n_files, 200_000)
     step = max(1, n_files // n_lookups)
     names = [f"file-{i:07d}" for i in range(0, n_files, step)][:n_lookups]
-
-    def do_lookups() -> None:
-        lookup = namenode.lookup
-        for name in names:
-            lookup(name)
-
     mint_batches, mint_width = 1_000, 64
-
-    def do_mint() -> None:
-        next_ids = namenode.next_chunk_ids
-        for _ in range(mint_batches):
-            next_ids("bench", mint_width)
-
-    def do_queries() -> None:
-        query = namenode.chunks_on_node
-        for node in nodes:
-            query(node)
-
-    look_secs = _best_seconds(do_lookups, repeats, warmup=1)
-    mint_secs = _best_seconds(do_mint, repeats, warmup=1)
-    query_secs = _best_seconds(do_queries, max(2, repeats // 2), warmup=1)
-
-    ops = n_files + len(names) + mint_batches * mint_width + n_nodes
-    secs = reg_best + look_secs + mint_secs + query_secs
-
     dead = nodes[:2]
-    burst_best = float("inf")
-    lost = 0
-    for _ in range(max(2, repeats // 2)):
-        t0 = time.perf_counter()
-        lost = sum(len(namenode.chunks_on_node(node)) for node in dead)
-        burst_best = min(burst_best, time.perf_counter() - t0)
 
+    def measure(make_namenode):
+        # Registration rebuilds a fresh namenode per repeat; bound the
+        # repeat count at large scale (one pass is seconds long — noise
+        # amortizes).
+        reg_repeats = min(repeats, 2) if n_files >= 200_000 else repeats
+        namenode = make_namenode()
+        reg_best = float("inf")
+        for _ in range(reg_repeats):
+            namenode = make_namenode()
+            t0 = time.perf_counter()
+            namenode.register_files(metas)
+            reg_best = min(reg_best, time.perf_counter() - t0)
+
+        def do_lookups() -> None:
+            lookup = namenode.lookup
+            for name in names:
+                lookup(name)
+
+        def do_mint() -> None:
+            next_ids = namenode.next_chunk_ids
+            for _ in range(mint_batches):
+                next_ids("bench", mint_width)
+
+        def do_queries() -> None:
+            query = namenode.chunks_on_node
+            for node in nodes:
+                query(node)
+
+        look_secs = _best_seconds(do_lookups, repeats, warmup=1)
+        mint_secs = _best_seconds(do_mint, repeats, warmup=1)
+        query_secs = _best_seconds(do_queries, max(2, repeats // 2), warmup=1)
+
+        ops = n_files + len(names) + mint_batches * mint_width + n_nodes
+        secs = reg_best + look_secs + mint_secs + query_secs
+
+        burst_best = float("inf")
+        lost = 0
+        for _ in range(max(2, repeats // 2)):
+            t0 = time.perf_counter()
+            lost = sum(len(namenode.chunks_on_node(node)) for node in dead)
+            burst_best = min(burst_best, time.perf_counter() - t0)
+        return ops / secs, burst_best, lost
+
+    single_ops, single_burst, lost = measure(Namenode)
+    gc.collect()  # drop the single namespace before building the shards
+    sharded_ops, sharded_burst, lost_sharded = measure(
+        lambda: ShardedNamenode(n_shards)
+    )
+    gc.collect()
+    assert lost_sharded == lost
+
+    params = dict(
+        n_files=n_files,
+        n_nodes=n_nodes,
+        lookups=len(names),
+        minted_ids=mint_batches * mint_width,
+        node_queries=n_nodes,
+    )
+    burst_params = dict(
+        n_files=n_files, n_nodes=n_nodes, dead_nodes=len(dead), lost_chunks=lost
+    )
     return {
-        "namenode_meta_ops_per_s": _metric(
-            ops / secs,
-            "ops/s",
-            n_files=n_files,
-            n_nodes=n_nodes,
-            lookups=len(names),
-            minted_ids=mint_batches * mint_width,
-            node_queries=n_nodes,
+        "namenode_meta_ops_per_s": _metric(single_ops, "ops/s", **params),
+        "namenode_meta_ops_per_s_sharded": _metric(
+            sharded_ops, "ops/s", n_shards=n_shards, **params
         ),
-        "meta_failure_burst_wall_s": _metric(
-            burst_best,
-            "s",
-            n_files=n_files,
-            n_nodes=n_nodes,
-            dead_nodes=len(dead),
-            lost_chunks=lost,
+        "meta_failure_burst_wall_s": _metric(single_burst, "s", **burst_params),
+        "meta_failure_burst_wall_s_sharded": _metric(
+            sharded_burst, "s", n_shards=n_shards, **burst_params
         ),
     }
 

@@ -24,6 +24,8 @@ from repro.dfs.blocks import (
 )
 from repro.dfs.datanode import Datanode
 from repro.dfs.namenode import Namenode
+from repro.dfs.journal import Journal, JournaledNamenode
+from repro.dfs.shards import ShardedNamenode
 from repro.dfs.filesystem import BaselineDFS, MorphFS
 from repro.dfs.heartbeat import HeartbeatConfig, HeartbeatMonitor
 from repro.dfs.integrity import ChecksumRegistry, Scrubber
@@ -39,6 +41,9 @@ __all__ = [
     "FileState",
     "Datanode",
     "Namenode",
+    "Journal",
+    "JournaledNamenode",
+    "ShardedNamenode",
     "BaselineDFS",
     "MorphFS",
     "HeartbeatConfig",

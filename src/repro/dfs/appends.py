@@ -38,8 +38,15 @@ class AppendSupport:
         )
         region = np.concatenate([existing, data])
         self._drop_open_region(meta, open_start, ec)
+        # The drop rewrote placement metadata; note it before the rewrite
+        # below mints fresh chunk ids, so a journaled namenode stays
+        # consistent at every record boundary.
+        self.namenode.note_file(meta)
         self._write_hybrid_region(meta, open_start // span, region, meta.scheme)
         meta.size = open_start + len(region)
+        # Final placement note after the size update so a journaled
+        # namenode's last record for this append carries the final state.
+        self.namenode.note_file(meta)
         return meta
 
     def close_file(self, name: str) -> FileMeta:
@@ -84,6 +91,8 @@ class AppendSupport:
             self.namenode.note_chunk(parity_nodes[j], meta.name)
         stripe.n = stripe.k + ec.r
         self._trim_extra_replica(meta, meta.replica_blocks[-1], meta.scheme.copies)
+        # Final note after the width update + replica trim (see append_file).
+        self.namenode.note_file(meta)
         return meta
 
     # -- internals -------------------------------------------------------------
@@ -136,7 +145,7 @@ class AppendSupport:
             replica_nodes = placement.place_replicas(
                 meta.name, stripe_index, n_targets, exclude=ec_nodes
             )
-            block_meta = self._write_replica_pipeline(
+            self._write_replica_pipeline(
                 meta,
                 stripe_index,
                 first_chunk=first_stripe * ec.k + s,
@@ -146,7 +155,6 @@ class AppendSupport:
                 persist_count=persist,
                 to_memory=True,
             )
-            meta.replica_blocks.append(block_meta)
             striper = replica_nodes[-1]
             if is_open:
                 stripe_meta = self._store_stripe(
@@ -157,11 +165,10 @@ class AppendSupport:
             else:
                 parities = code.encode(stripe_chunks)
                 self.charge_node_encode(striper, ec.k, ec.n - ec.k, self.chunk_size)
-                stripe_meta = self._store_stripe(
+                self._store_stripe(
                     meta, stripe_index, stripe_chunks, parities,
                     spots["data"], spots["parity"], ec, src=striper,
                 )
-            meta.stripes.append(stripe_meta)
             for i, node_id in enumerate(replica_nodes):
                 if i >= persist:
                     self._drop_temp_replica(node_id, f"{meta.name}/r{stripe_index}c{i}")

@@ -62,6 +62,7 @@ class _BaseDFS:
         replication_block_chunks: int = 8,
         seed: int = 0,
         obs: Optional[Observability] = None,
+        namenode: Optional[Namenode] = None,
     ):
         from repro.dfs.datanode import Datanode
 
@@ -77,7 +78,11 @@ class _BaseDFS:
         }
         from repro.dfs.integrity import ChecksumRegistry
 
-        self.namenode = Namenode()
+        #: pluggable control plane: a plain in-memory Namenode by
+        #: default; callers can inject a JournaledNamenode (durable) or
+        #: a ShardedNamenode (hash-partitioned namespace) — the facade
+        #: speaks the same API.
+        self.namenode = namenode if namenode is not None else Namenode()
         self.checksums = ChecksumRegistry()
         self.planner = TranscodePlanner()
         self.reader = ClientReader(self)
@@ -208,13 +213,26 @@ class _BaseDFS:
         persist_count: int,
         to_memory: bool,
     ) -> ReplicaBlockMeta:
-        """Mirror a block down a chain of nodes (HDFS-style pipeline)."""
+        """Mirror a block down a chain of nodes (HDFS-style pipeline).
+
+        The block meta is linked into ``meta.replica_blocks`` *before*
+        the per-copy placement notes: a journaled namenode turns each
+        note into a full-file record, and a recovery cut at any record
+        boundary must see exactly the placements made so far.
+        """
         copies: List[ChunkMeta] = []
         prev = CLIENT
         note_chunk = self.namenode.note_chunk
         chunk_ids = self.namenode.next_chunk_ids(
             f"{meta.name}/r{block_index}c", len(nodes)
         )
+        block_meta = ReplicaBlockMeta(
+            block_index=block_index,
+            first_chunk=first_chunk,
+            n_chunks=n_chunks,
+            copies=copies,
+        )
+        meta.replica_blocks.append(block_meta)
         for i, node_id in enumerate(nodes):
             chunk_id = chunk_ids[i]
             datanode = self.datanodes[node_id]
@@ -232,12 +250,7 @@ class _BaseDFS:
         if to_memory:
             for i in range(persist_count):
                 self.datanodes[nodes[i]].persist(copies[i].chunk_id, at=self.clock)
-        return ReplicaBlockMeta(
-            block_index=block_index,
-            first_chunk=first_chunk,
-            n_chunks=n_chunks,
-            copies=copies,
-        )
+        return block_meta
 
     def _write_replicated(self, meta: FileMeta, data: np.ndarray, copies: int) -> None:
         placement = DefaultPlacement(self.cluster, seed=self.seed + zlib.crc32(meta.name.encode()) % 997)
@@ -246,7 +259,7 @@ class _BaseDFS:
         for start in range(0, max(len(data), 1), span):
             block = np.asarray(data[start : start + span], dtype=np.uint8)
             nodes = placement.place_replicas(copies)
-            block_meta = self._write_replica_pipeline(
+            self._write_replica_pipeline(
                 meta,
                 block_index,
                 first_chunk=start // self.chunk_size,
@@ -256,7 +269,6 @@ class _BaseDFS:
                 persist_count=copies,
                 to_memory=False,
             )
-            meta.replica_blocks.append(block_meta)
             block_index += 1
 
     def _write_ec(self, meta: FileMeta, data: np.ndarray, ec: ECScheme) -> None:
@@ -273,10 +285,9 @@ class _BaseDFS:
             parities = parities_batch[stripe_index]
             self.charge_client_encode(ec.k, ec.n - ec.k, self.chunk_size)
             spots = placement.place_stripe(ec.k, ec.n - ec.k)
-            stripe_meta = self._store_stripe(
+            self._store_stripe(
                 meta, stripe_index, stripe_chunks, parities, spots["data"], spots["parity"], ec
             )
-            meta.stripes.append(stripe_meta)
 
     def _store_stripe(
         self,
@@ -294,14 +305,24 @@ class _BaseDFS:
         k = len(data_chunks)
         note_chunk = self.namenode.note_chunk
         data_ids = self.namenode.next_chunk_ids(f"{meta.name}/s{stripe_index}d", k)
-        data_metas: List[ChunkMeta] = []
+        # Linked into the meta before the first placement note — see
+        # _write_replica_pipeline for why (journal-boundary consistency).
+        stripe_meta = ECStripeMeta(
+            stripe_index=stripe_index,
+            k=k,
+            n=k + len(parities),
+            data=[],
+            parities=[],
+        )
+        meta.stripes.append(stripe_meta)
         for t, chunk in enumerate(data_chunks):
             chunk_id = data_ids[t]
             self.datanodes[data_nodes[t]].receive_to_disk(chunk_id, chunk, src=src, at=self.clock)
             self.checksums.record(chunk_id, chunk)
-            data_metas.append(ChunkMeta(chunk_id, data_nodes[t], ChunkKind.DATA, chunk.nbytes))
+            stripe_meta.data.append(
+                ChunkMeta(chunk_id, data_nodes[t], ChunkKind.DATA, chunk.nbytes)
+            )
             note_chunk(data_nodes[t], meta.name)
-        parity_metas: List[ChunkMeta] = []
         kinds = self._parity_kinds(ec)
         parity_ids = self.namenode.next_chunk_ids(
             f"{meta.name}/s{stripe_index}p", len(parities)
@@ -312,17 +333,11 @@ class _BaseDFS:
                 chunk_id, parity, src=parity_src, at=self.clock
             )
             self.checksums.record(chunk_id, parity)
-            parity_metas.append(
+            stripe_meta.parities.append(
                 ChunkMeta(chunk_id, parity_nodes[j], kinds[j], parity.nbytes)
             )
             note_chunk(parity_nodes[j], meta.name)
-        return ECStripeMeta(
-            stripe_index=stripe_index,
-            k=k,
-            n=k + len(parities),
-            data=data_metas,
-            parities=parity_metas,
-        )
+        return stripe_meta
 
     @staticmethod
     def _parity_kinds(ec: ECScheme) -> List[ChunkKind]:
@@ -378,8 +393,12 @@ class MorphFS(AppendSupport, _BaseDFS):
         parity_mode: str = "async",
         spanning_protocol: bool = False,
         obs: Optional[Observability] = None,
+        namenode: Optional[Namenode] = None,
     ):
-        super().__init__(cluster, chunk_size, replication_block_chunks, seed, obs=obs)
+        super().__init__(
+            cluster, chunk_size, replication_block_chunks, seed,
+            obs=obs, namenode=namenode,
+        )
         self.future_widths = list(future_widths or [])
         self.max_parities = max_parities
         #: ablation switch: False disables k*-window planning and parity
@@ -455,10 +474,9 @@ class MorphFS(AppendSupport, _BaseDFS):
             parities = parities_batch[stripe_index]
             self.charge_client_encode(ec.k, ec.n - ec.k, self.chunk_size)
             spots = placement.place_stripe(meta.name, stripe_index, ec.k, ec.n - ec.k)
-            stripe_meta = self._store_stripe(
+            self._store_stripe(
                 meta, stripe_index, stripe_chunks, parities, spots["data"], spots["parity"], ec
             )
-            meta.stripes.append(stripe_meta)
 
     def _write_hybrid(self, meta: FileMeta, data: np.ndarray, hy: HybridScheme) -> None:
         """Hybrid ingest (§4.2).
@@ -499,7 +517,7 @@ class MorphFS(AppendSupport, _BaseDFS):
             replica_nodes = placement.place_replicas(
                 meta.name, stripe_index, n_replica_targets, exclude=ec_nodes
             )
-            block_meta = self._write_replica_pipeline(
+            self._write_replica_pipeline(
                 meta,
                 stripe_index,
                 first_chunk=s,
@@ -509,7 +527,6 @@ class MorphFS(AppendSupport, _BaseDFS):
                 persist_count=persist_replicas,
                 to_memory=True,
             )
-            meta.replica_blocks.append(block_meta)
             # Striping (§4.2 / Fig 6): the last replica holder distributes
             # the data chunks (they are the extra durable copy).
             striper = replica_nodes[-1]
@@ -532,7 +549,6 @@ class MorphFS(AppendSupport, _BaseDFS):
             )
             if self.parity_mode == "none":
                 stripe_meta.n = stripe_meta.k
-            meta.stripes.append(stripe_meta)
             # Parities persisted: temporary replicas leave memory for free.
             for i, node_id in enumerate(replica_nodes):
                 if i >= persist_replicas:
@@ -640,6 +656,9 @@ class MorphFS(AppendSupport, _BaseDFS):
         meta.replica_blocks = []
         meta.scheme = target
         meta.version += 1
+        # Zero-IO or not, the switch rewrites placement metadata — emit a
+        # placement note so a journaled namenode records the transition.
+        self.namenode.note_file(meta)
         return meta
 
     def _pick_striper(self, candidates: Sequence[str]) -> str:
@@ -731,6 +750,9 @@ class MorphFS(AppendSupport, _BaseDFS):
             stripe.parities.append(ChunkMeta(chunk_id, node, kinds[j], parity.nbytes))
             self.namenode.note_chunk(node, meta.name)
         stripe.n = stripe.k + len(stripe.parities)
+        # Final placement note after the width update so a journaled
+        # namenode's last record for this op carries the sealed state.
+        self.namenode.note_file(meta)
 
     def _build_groups(
         self, meta: FileMeta, target: RedundancyScheme

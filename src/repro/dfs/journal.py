@@ -1,0 +1,777 @@
+"""Crash-consistent namenode persistence: op-log journal + snapshots.
+
+The paper keeps the namenode's transcode bookkeeping (ATQ/UTM) in memory
+and leans on the atomic metadata switch for crash safety (§6.2).  That
+is correct but lossy: a restart forgets every queued and half-finished
+conversion.  This module adds the missing durability layer as an
+HDFS-style edit log:
+
+* :class:`Journal` — an append-only log of versioned, checksummed
+  records (length/version/opcode/CRC32 header + canonical-JSON payload),
+  file-backed or in-memory.  A torn tail (crash mid-write) is detected
+  and truncated on open; corruption *before* the tail raises.
+* :class:`JournaledNamenode` — a :class:`~repro.dfs.namenode.Namenode`
+  that applies each mutation in memory first and appends one record on
+  success (write-behind: a crash between apply and append loses only the
+  unacknowledged op).  Nested mutators (``rename`` calls
+  ``unregister_file``/``register_file``, ``try_finalize`` calls
+  ``note_file``) are suppressed so replay applies each record exactly
+  once.
+* Snapshot compaction — ``compact()`` rewrites the log as a single
+  SNAPSHOT record built on ``Namenode.snapshot(include_transcode=True)``,
+  atomically (write-new + rename) for file-backed logs.
+* Replay recovery — :meth:`JournaledNamenode.recover` restores the last
+  snapshot and replays the record suffix; a namenode killed at any
+  record boundary restores byte-identical to the snapshot+replay oracle
+  (see :func:`state_digest` and ``tests/test_journal_crash.py``).
+
+Record coverage
+---------------
+Every namespace/transcode mutator writes its own opcode.  Chunk
+placements made *after* registration (repair, transcode relocation,
+stripe sealing, appends) flow through NOTE records: the PR-8 per-node
+index invariant — every path that homes a chunk must call
+``note_chunk``/``note_file`` — doubles as the durability hook, and a
+NOTE record carries the file's full metadata as an upsert.  Placements
+made before registration need no record: REGISTER carries final state.
+
+Durable state is the canonical tuple (files in registration order,
+chunk_seq, ATQ, UTM).  The per-node chunk index and the absolute
+``_file_order`` sequence numbers are derived caches, rebuilt on
+recovery; relative registration order is preserved by construction.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import struct
+import zlib
+from collections import deque
+from enum import IntEnum
+from pathlib import Path
+from sys import intern as _intern
+from typing import Any, Callable, Dict, Iterable, Iterator, List, Optional, Tuple
+
+from repro.core.schemes import (
+    CodeKind,
+    ECScheme,
+    HybridScheme,
+    RedundancyScheme,
+    Replication,
+)
+from repro.dfs.blocks import (
+    ChunkKind,
+    ChunkMeta,
+    ECStripeMeta,
+    FileMeta,
+    FileState,
+    ReplicaBlockMeta,
+)
+from repro.dfs.namenode import ConversionGroup, Namenode, TranscodeJob
+
+RECORD_VERSION = 1
+#: record header: payload length, format version, opcode, CRC32(payload)
+_HEADER = struct.Struct("<IHHI")
+_JSON = dict(separators=(",", ":"), sort_keys=True)
+#: sanity bound on one record's payload (a full-state snapshot of a very
+#: large shard still fits; anything bigger is corruption, not data)
+_MAX_PAYLOAD = 1 << 31
+
+
+class Op(IntEnum):
+    """Journal record opcodes (stable on-disk values)."""
+
+    SNAPSHOT = 0        # full canonical state (compaction point)
+    REGISTER = 1        # register_file
+    REGISTER_BATCH = 2  # register_files
+    UNREGISTER = 3      # unregister_file
+    RENAME = 4          # rename
+    NOTE = 5            # full-file metadata upsert (post-registration
+    #                     placement: repair / relocate / seal / append)
+    MINT = 6            # next_chunk_id(s): chunk-sequence advance
+    ENQUEUE = 7         # enqueue_transcode
+    POLL = 8            # poll_work / poll_work_for (ATQ -> in-flight)
+    COMPLETE = 9        # complete_parity
+    NEW_STRIPE = 10     # record_new_stripe
+    FINALIZE = 11       # try_finalize (the atomic metadata switch)
+    ABORT = 12          # abort_transcode
+
+
+class JournalError(RuntimeError):
+    """Corrupt or unreadable journal (not a torn tail)."""
+
+
+class JournalCrash(RuntimeError):
+    """Simulated process death at a record boundary (fault injection)."""
+
+
+# -- record payload codec -----------------------------------------------------
+
+def encode_scheme(s: RedundancyScheme) -> Dict[str, Any]:
+    if isinstance(s, Replication):
+        return {"t": "rep", "c": s.copies}
+    if isinstance(s, HybridScheme):
+        return {"t": "hy", "c": s.copies, "ec": encode_scheme(s.ec)}
+    if isinstance(s, ECScheme):
+        return {
+            "t": "ec", "kind": s.kind.value, "k": s.k, "n": s.n,
+            "lg": s.local_groups, "rg": s.r_global, "ap": s.anticipate_parities,
+        }
+    raise TypeError(f"unknown scheme type {type(s).__name__}")
+
+
+def decode_scheme(d: Dict[str, Any]) -> RedundancyScheme:
+    t = d["t"]
+    if t == "rep":
+        return Replication(copies=d["c"])
+    if t == "hy":
+        return HybridScheme(copies=d["c"], ec=decode_scheme(d["ec"]))
+    if t == "ec":
+        return ECScheme(
+            kind=CodeKind(d["kind"]), k=d["k"], n=d["n"],
+            local_groups=d["lg"], r_global=d["rg"], anticipate_parities=d["ap"],
+        )
+    raise JournalError(f"unknown scheme tag {t!r}")
+
+
+def encode_chunk(c: ChunkMeta) -> List[Any]:
+    return [c.chunk_id, c.node_id, c.kind.value, c.size]
+
+
+def decode_chunk(d: List[Any]) -> ChunkMeta:
+    return ChunkMeta(_intern(d[0]), _intern(d[1]), ChunkKind(d[2]), d[3])
+
+
+def encode_stripe(s: ECStripeMeta) -> Dict[str, Any]:
+    return {
+        "i": s.stripe_index, "k": s.k, "n": s.n,
+        "d": [encode_chunk(c) for c in s.data],
+        "p": [encode_chunk(c) for c in s.parities],
+    }
+
+
+def decode_stripe(d: Dict[str, Any]) -> ECStripeMeta:
+    return ECStripeMeta(
+        stripe_index=d["i"], k=d["k"], n=d["n"],
+        data=[decode_chunk(c) for c in d["d"]],
+        parities=[decode_chunk(c) for c in d["p"]],
+    )
+
+
+def encode_block(b: ReplicaBlockMeta) -> Dict[str, Any]:
+    return {
+        "i": b.block_index, "fc": b.first_chunk, "nc": b.n_chunks,
+        "c": [encode_chunk(c) for c in b.copies],
+    }
+
+
+def decode_block(d: Dict[str, Any]) -> ReplicaBlockMeta:
+    return ReplicaBlockMeta(
+        block_index=d["i"], first_chunk=d["fc"], n_chunks=d["nc"],
+        copies=[decode_chunk(c) for c in d["c"]],
+    )
+
+
+def encode_file(m: FileMeta) -> Dict[str, Any]:
+    return {
+        "name": m.name, "size": m.size, "cs": m.chunk_size,
+        "scheme": encode_scheme(m.scheme),
+        "st": [encode_stripe(s) for s in m.stripes],
+        "rb": [encode_block(b) for b in m.replica_blocks],
+        "state": m.state.value, "v": m.version,
+    }
+
+
+def decode_file(d: Dict[str, Any]) -> FileMeta:
+    return FileMeta(
+        name=_intern(d["name"]), size=d["size"], chunk_size=d["cs"],
+        scheme=decode_scheme(d["scheme"]),
+        stripes=[decode_stripe(s) for s in d["st"]],
+        replica_blocks=[decode_block(b) for b in d["rb"]],
+        state=FileState(d["state"]), version=d["v"],
+    )
+
+
+def encode_group(g: ConversionGroup) -> Dict[str, Any]:
+    return {
+        "f": g.file_name, "g": g.group_index,
+        "init": list(g.initial_stripe_indices), "nf": g.n_final_stripes,
+        "t": encode_scheme(g.target_scheme),
+    }
+
+
+def decode_group(d: Dict[str, Any]) -> ConversionGroup:
+    return ConversionGroup(
+        file_name=_intern(d["f"]), group_index=d["g"],
+        initial_stripe_indices=list(d["init"]), n_final_stripes=d["nf"],
+        target_scheme=decode_scheme(d["t"]),
+    )
+
+
+def encode_job(j: TranscodeJob) -> Dict[str, Any]:
+    return {
+        "f": j.file_name, "t": encode_scheme(j.target_scheme),
+        "g": [encode_group(g) for g in j.groups],
+        "pb": j.pending_bits, "tb": j.total_bits,
+        "ns": [[g, i, encode_stripe(s)] for (g, i), s in sorted(j.new_stripes.items())],
+        "dl": j.deadline,
+    }
+
+
+def decode_job(d: Dict[str, Any]) -> TranscodeJob:
+    return TranscodeJob(
+        file_name=_intern(d["f"]), target_scheme=decode_scheme(d["t"]),
+        groups=[decode_group(g) for g in d["g"]],
+        pending_bits=d["pb"], total_bits=d["tb"],
+        new_stripes={(g, i): decode_stripe(s) for g, i, s in d["ns"]},
+        deadline=d["dl"],
+    )
+
+
+# -- canonical state ----------------------------------------------------------
+
+def encode_state(nn: Namenode) -> Dict[str, Any]:
+    """Canonical durable state, built on ``snapshot(include_transcode=True)``.
+
+    Files appear in registration order (dict order); the per-node index
+    and absolute ``_file_order`` values are derived caches and excluded.
+    """
+    snap = nn.snapshot(include_transcode=True)
+    return {
+        "files": [encode_file(m) for m in snap["files"].values()],
+        "chunk_seq": snap["chunk_seq"],
+        "atq": [encode_group(g) for g in snap["atq"]],
+        "utm": [encode_job(j) for j in snap["utm"].values()],
+    }
+
+
+def load_state(nn: Namenode, doc: Dict[str, Any]) -> None:
+    """Reset ``nn`` to the decoded canonical state (recovery path)."""
+    nn.files = {}
+    nn.atq = deque()
+    nn.utm = {}
+    nn._node_files = {}
+    nn._file_order = {}
+    nn._file_seq = 0
+    nn._chunk_seq = doc["chunk_seq"]
+    for fd in doc["files"]:
+        meta = decode_file(fd)
+        nn.files[meta.name] = meta
+        nn._file_seq += 1
+        nn._file_order[meta.name] = nn._file_seq
+        Namenode.note_file(nn, meta)
+    for gd in doc["atq"]:
+        nn.atq.append(decode_group(gd))
+    for jd in doc["utm"]:
+        job = decode_job(jd)
+        nn.utm[job.file_name] = job
+
+
+def state_digest(nn: Namenode) -> str:
+    """sha256 over the canonical state — the byte-identity oracle."""
+    payload = json.dumps(encode_state(nn), **_JSON).encode()
+    return hashlib.sha256(payload).hexdigest()
+
+
+# -- the log ------------------------------------------------------------------
+
+class Journal:
+    """Append-only record log, in-memory or file-backed.
+
+    The full log is mirrored in memory (``data``); file-backed journals
+    append-through and compact via write-new + ``os.replace``.  Opening
+    an existing file validates every record: a torn tail is truncated
+    (in memory *and* on disk), corruption before the tail raises
+    :class:`JournalError`.
+    """
+
+    def __init__(self, path: Optional[os.PathLike] = None,
+                 fail_after: Optional[int] = None):
+        self.path = Path(path) if path is not None else None
+        #: crash injection: raise JournalCrash *before* appending record
+        #: number ``fail_after`` (0-based count of records already in the
+        #: log), simulating process death at that record boundary.
+        self.fail_after = fail_after
+        self._buf = bytearray()
+        self._offsets: List[int] = []
+        self._fh = None
+        self.snapshots = 0
+        self.records_since_snapshot = 0
+        self.appended_total = 0
+        if self.path is not None and self.path.exists():
+            raw = self.path.read_bytes()
+            valid = self._load(raw)
+            if valid != len(raw):
+                with open(self.path, "r+b") as fh:
+                    fh.truncate(valid)
+
+    # -- introspection --------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self._offsets)
+
+    @property
+    def data(self) -> bytes:
+        return bytes(self._buf)
+
+    @property
+    def byte_size(self) -> int:
+        return len(self._buf)
+
+    def stats(self) -> Dict[str, int]:
+        return {
+            "records": len(self._offsets),
+            "bytes": len(self._buf),
+            "snapshots": self.snapshots,
+            "records_since_snapshot": self.records_since_snapshot,
+            "appended_total": self.appended_total,
+        }
+
+    # -- scanning -------------------------------------------------------------
+    def _load(self, raw: bytes) -> int:
+        """Validate ``raw`` into this (empty) journal; return valid length."""
+        offsets: List[int] = []
+        pos, end = 0, len(raw)
+        snapshots = since = 0
+        while pos < end:
+            if end - pos < _HEADER.size:
+                break  # torn header at the tail
+            length, version, opcode, crc = _HEADER.unpack_from(raw, pos)
+            body_at = pos + _HEADER.size
+            torn = (
+                length > _MAX_PAYLOAD
+                or body_at + length > end
+                or zlib.crc32(raw[body_at:body_at + length]) != crc
+            )
+            if torn:
+                # Damage that does not reach EOF is corruption, not a
+                # crash artifact — refuse to silently drop good records.
+                if body_at + min(length, _MAX_PAYLOAD) < end:
+                    raise JournalError(f"corrupt record at offset {pos}")
+                break
+            if version > RECORD_VERSION:
+                raise JournalError(
+                    f"record version {version} > supported {RECORD_VERSION}"
+                )
+            offsets.append(pos)
+            if opcode == Op.SNAPSHOT:
+                snapshots += 1
+                since = 0
+            else:
+                since += 1
+            pos = body_at + length
+        self._buf = bytearray(raw[:pos])
+        self._offsets = offsets
+        self.snapshots = snapshots
+        self.records_since_snapshot = since
+        return pos
+
+    def records(self) -> Iterator[Tuple[Op, Dict[str, Any]]]:
+        """Decoded (opcode, payload) pairs; offsets were validated on load."""
+        buf = self._buf
+        for start in self._offsets:
+            length, _version, opcode, _crc = _HEADER.unpack_from(buf, start)
+            body_at = start + _HEADER.size
+            payload = json.loads(bytes(buf[body_at:body_at + length]))
+            yield Op(opcode), payload
+
+    def prefix(self, n: int) -> "Journal":
+        """In-memory copy of the first ``n`` records (crash-test harness)."""
+        end = len(self._buf) if n >= len(self._offsets) else self._offsets[n]
+        j = Journal()
+        j._load(bytes(self._buf[:end]))
+        return j
+
+    # -- writing --------------------------------------------------------------
+    def append(self, op: Op, payload: Dict[str, Any]) -> int:
+        """Append one record; returns its index.  Raises
+        :class:`JournalCrash` before writing when fault injection fires."""
+        if self.fail_after is not None and len(self._offsets) >= self.fail_after:
+            raise JournalCrash(
+                f"injected crash before record {len(self._offsets)}"
+            )
+        body = json.dumps(payload, **_JSON).encode()
+        rec = _HEADER.pack(len(body), RECORD_VERSION, int(op), zlib.crc32(body)) + body
+        index = len(self._offsets)
+        self._offsets.append(len(self._buf))
+        self._buf += rec
+        self.appended_total += 1
+        if op is Op.SNAPSHOT:
+            self.snapshots += 1
+            self.records_since_snapshot = 0
+        else:
+            self.records_since_snapshot += 1
+        if self.path is not None:
+            if self._fh is None:
+                self._fh = open(self.path, "ab")
+            self._fh.write(rec)
+            self._fh.flush()
+        return index
+
+    def rewrite(self, records: Iterable[Tuple[Op, Dict[str, Any]]]) -> None:
+        """Atomically replace the log's contents (snapshot compaction).
+
+        File-backed logs write a sibling temp file and ``os.replace`` it
+        in, so a crash mid-compaction leaves the old log intact.
+        """
+        fresh = Journal()
+        for op, payload in records:
+            fresh.append(op, payload)
+        if self.path is not None:
+            if self._fh is not None:
+                self._fh.close()
+                self._fh = None
+            tmp = self.path.with_name(self.path.name + ".compact")
+            tmp.write_bytes(fresh.data)
+            os.replace(tmp, self.path)
+        self._buf = fresh._buf
+        self._offsets = fresh._offsets
+        self.snapshots = fresh.snapshots
+        self.records_since_snapshot = fresh.records_since_snapshot
+        self.appended_total += len(fresh._offsets)
+
+    def close(self) -> None:
+        if self._fh is not None:
+            self._fh.close()
+            self._fh = None
+
+
+# -- in-place metadata merge (NOTE replay) ------------------------------------
+#
+# A NOTE record upserts one file's full metadata.  Replay merges it into
+# the live FileMeta *in place*, position-matched, so chunk objects keep
+# their identity: mid-transcode, a file's old data chunks are shared
+# between ``files[name].stripes`` and the UTM job's accumulated new
+# stripes, and a repair that moves one must be visible through both —
+# exactly as it is live, where the repair mutates the shared object.
+
+def _merge_chunk(c: ChunkMeta, d: List[Any]) -> None:
+    c.chunk_id = _intern(d[0])
+    c.node_id = _intern(d[1])
+    c.kind = ChunkKind(d[2])
+    c.size = d[3]
+
+
+def _merge_list(live: list, docs: list, decode: Callable, merge: Callable) -> None:
+    del live[len(docs):]
+    for i, d in enumerate(docs):
+        if i < len(live):
+            merge(live[i], d)
+        else:
+            live.append(decode(d))
+
+
+def _merge_stripe(s: ECStripeMeta, d: Dict[str, Any]) -> None:
+    s.stripe_index, s.k, s.n = d["i"], d["k"], d["n"]
+    _merge_list(s.data, d["d"], decode_chunk, _merge_chunk)
+    _merge_list(s.parities, d["p"], decode_chunk, _merge_chunk)
+
+
+def _merge_block(b: ReplicaBlockMeta, d: Dict[str, Any]) -> None:
+    b.block_index, b.first_chunk, b.n_chunks = d["i"], d["fc"], d["nc"]
+    _merge_list(b.copies, d["c"], decode_chunk, _merge_chunk)
+
+
+def merge_file(meta: FileMeta, d: Dict[str, Any]) -> None:
+    """Mutate ``meta`` to match an encoded file document, in place."""
+    meta.size = d["size"]
+    meta.chunk_size = d["cs"]
+    meta.scheme = decode_scheme(d["scheme"])
+    meta.state = FileState(d["state"])
+    meta.version = d["v"]
+    _merge_list(meta.stripes, d["st"], decode_stripe, _merge_stripe)
+    _merge_list(meta.replica_blocks, d["rb"], decode_block, _merge_block)
+
+
+# -- the journaled namenode ---------------------------------------------------
+
+class JournaledNamenode(Namenode):
+    """A Namenode whose every mutation is durable in an op-log journal.
+
+    Write-behind: the mutation is applied in memory first (validation
+    errors produce no record), then one record is appended.  A crash
+    between the two loses only the op the caller never saw acknowledged.
+    ``compact_every`` > 0 folds the log into a single SNAPSHOT record
+    whenever that many records accumulate past the last snapshot.
+    """
+
+    def __init__(self, journal: Optional[Journal] = None, compact_every: int = 0):
+        super().__init__()
+        self.journal = Journal() if journal is None else journal
+        self.compact_every = compact_every
+        #: records replayed by the last recover() that built this node
+        self.replayed = 0
+        #: test hook: called as ``after_append(node, op)`` once a record
+        #: has landed (used by the crash sweep to pin per-boundary digests)
+        self.after_append: Optional[Callable[["JournaledNamenode", Op], None]] = None
+        self._suspended = False
+
+    # -- logging core ---------------------------------------------------------
+    def _log(self, op: Op, payload: Dict[str, Any]) -> None:
+        self.journal.append(op, payload)
+        if self.after_append is not None:
+            self.after_append(self, op)
+        if (
+            self.compact_every
+            and self.journal.records_since_snapshot >= self.compact_every
+        ):
+            self.compact()
+
+    def compact(self) -> None:
+        """Fold the whole log into one SNAPSHOT of the current state."""
+        self.journal.rewrite([(Op.SNAPSHOT, encode_state(self))])
+
+    def stats(self) -> Dict[str, int]:
+        out = self.journal.stats()
+        out["replayed"] = self.replayed
+        return out
+
+    def metadata_stats(self) -> Dict[str, Any]:
+        out = super().metadata_stats()
+        s = self.journal.stats()
+        out.update(
+            journal_records=s["records"],
+            journal_bytes=s["bytes"],
+            journal_snapshots=s["snapshots"],
+            journal_since_snapshot=s["records_since_snapshot"],
+            replayed=self.replayed,
+        )
+        return out
+
+    # -- recovery -------------------------------------------------------------
+    @classmethod
+    def recover(cls, journal: Journal, compact_every: int = 0) -> "JournaledNamenode":
+        """Rebuild a namenode from its journal: restore the last SNAPSHOT
+        record (if any), replay everything after it."""
+        node = cls(journal=Journal(), compact_every=0)
+        node._suspended = True
+        replayed = 0
+        try:
+            for op, payload in journal.records():
+                node._apply(op, payload)
+                replayed += 1
+        finally:
+            node._suspended = False
+        node.journal = journal
+        node.compact_every = compact_every
+        node.replayed = replayed
+        return node
+
+    def _apply(self, op: Op, p: Dict[str, Any]) -> None:
+        if op is Op.SNAPSHOT:
+            load_state(self, p)
+        elif op is Op.REGISTER:
+            self.register_file(decode_file(p["f"]))
+        elif op is Op.REGISTER_BATCH:
+            self.register_files([decode_file(fd) for fd in p["fs"]])
+        elif op is Op.UNREGISTER:
+            self.unregister_file(p["n"])
+        elif op is Op.RENAME:
+            self.rename(p["o"], p["n"])
+        elif op is Op.NOTE:
+            meta = self.files.get(p["n"])
+            if meta is not None:
+                merge_file(meta, p["f"])
+                Namenode.note_file(self, meta)
+        elif op is Op.MINT:
+            self._chunk_seq += p["c"]
+        elif op is Op.ENQUEUE:
+            self.enqueue_transcode(
+                p["n"], decode_scheme(p["t"]),
+                [decode_group(g) for g in p["g"]], p["p"], deadline=p["dl"],
+            )
+        elif op is Op.POLL:
+            if p["n"] is None:
+                self.poll_work(p["m"])
+            else:
+                self.poll_work_for(p["n"], p["m"])
+        elif op is Op.COMPLETE:
+            self.complete_parity(p["n"], p["g"], p["i"], p["j"], p["p"])
+        elif op is Op.NEW_STRIPE:
+            self._apply_new_stripe(p)
+        elif op is Op.FINALIZE:
+            self.try_finalize(p["n"])
+        elif op is Op.ABORT:
+            self.abort_transcode(p["n"])
+        else:  # pragma: no cover - scan already validated opcodes
+            raise JournalError(f"unknown opcode {op}")
+
+    def _apply_new_stripe(self, p: Dict[str, Any]) -> None:
+        stripe = decode_stripe(p["s"])
+        meta = self.files.get(p["n"])
+        if meta is not None:
+            # Re-link data chunks to the live objects they were built
+            # from, so later in-place repairs stay visible through both
+            # the old stripes and the accumulating new ones (identity
+            # sharing, exactly as the live transcoder produced it).
+            by_id = {c.chunk_id: c for c in meta.all_chunks()}
+            stripe.data = [by_id.get(c.chunk_id, c) for c in stripe.data]
+        self.record_new_stripe(p["n"], p["g"], p["i"], stripe)
+
+    # -- journaled mutators ---------------------------------------------------
+    # Pattern: while _suspended (replay, or a nested call from another
+    # mutator) delegate straight to super().  Otherwise apply with
+    # nested logging suppressed, then append exactly one record.
+
+    def register_file(self, meta: FileMeta) -> None:
+        if self._suspended:
+            return super().register_file(meta)
+        self._suspended = True
+        try:
+            super().register_file(meta)
+        finally:
+            self._suspended = False
+        self._log(Op.REGISTER, {"f": encode_file(meta)})
+
+    def register_files(self, metas: Iterable[FileMeta]) -> None:
+        metas = list(metas)
+        if self._suspended:
+            return super().register_files(metas)
+        # Pre-validate so the journaled batch is atomic: either every
+        # file registers and one record lands, or none do.
+        files = self.files
+        for meta in metas:
+            if meta.name in files:
+                raise ValueError(f"file exists: {meta.name}")
+        self._suspended = True
+        try:
+            super().register_files(metas)
+        finally:
+            self._suspended = False
+        self._log(Op.REGISTER_BATCH, {"fs": [encode_file(m) for m in metas]})
+
+    def unregister_file(self, name: str) -> FileMeta:
+        if self._suspended:
+            return super().unregister_file(name)
+        self._suspended = True
+        try:
+            meta = super().unregister_file(name)
+        finally:
+            self._suspended = False
+        self._log(Op.UNREGISTER, {"n": name})
+        return meta
+
+    def rename(self, old: str, new: str) -> None:
+        if self._suspended:
+            return super().rename(old, new)
+        self._suspended = True
+        try:
+            super().rename(old, new)
+        finally:
+            self._suspended = False
+        self._log(Op.RENAME, {"o": old, "n": new})
+
+    def note_chunk(self, node_id: str, file_name: str) -> None:
+        super().note_chunk(node_id, file_name)
+        if self._suspended:
+            return
+        meta = self.files.get(file_name)
+        if meta is not None:
+            self._log(Op.NOTE, {"n": file_name, "f": encode_file(meta)})
+
+    def note_file(self, meta: FileMeta) -> None:
+        super().note_file(meta)
+        if self._suspended:
+            return
+        current = self.files.get(meta.name)
+        if current is not None:
+            self._log(Op.NOTE, {"n": current.name, "f": encode_file(current)})
+
+    def next_chunk_id(self, prefix: str) -> str:
+        out = super().next_chunk_id(prefix)
+        if not self._suspended:
+            self._log(Op.MINT, {"c": 1})
+        return out
+
+    def next_chunk_ids(self, prefix: str, count: int) -> List[str]:
+        out = super().next_chunk_ids(prefix, count)
+        if not self._suspended:
+            self._log(Op.MINT, {"c": count})
+        return out
+
+    def enqueue_transcode(self, name, target_scheme, groups,
+                          parities_per_final_stripe, deadline=None):
+        if self._suspended:
+            return super().enqueue_transcode(
+                name, target_scheme, groups, parities_per_final_stripe, deadline
+            )
+        self._suspended = True
+        try:
+            job = super().enqueue_transcode(
+                name, target_scheme, groups, parities_per_final_stripe, deadline
+            )
+        finally:
+            self._suspended = False
+        self._log(Op.ENQUEUE, {
+            "n": name, "t": encode_scheme(target_scheme),
+            "g": [encode_group(g) for g in groups],
+            "p": parities_per_final_stripe, "dl": deadline,
+        })
+        return job
+
+    def poll_work(self, max_items: int = 8):
+        out = super().poll_work(max_items)
+        if out and not self._suspended:
+            self._log(Op.POLL, {"n": None, "m": max_items})
+        return out
+
+    def poll_work_for(self, name: str, max_items: int = 8):
+        out = super().poll_work_for(name, max_items)
+        if out and not self._suspended:
+            self._log(Op.POLL, {"n": name, "m": max_items})
+        return out
+
+    def complete_parity(self, name, group_index, final_idx, parity_j,
+                        parities_per_final_stripe) -> None:
+        if self._suspended:
+            return super().complete_parity(
+                name, group_index, final_idx, parity_j, parities_per_final_stripe
+            )
+        self._suspended = True
+        try:
+            super().complete_parity(
+                name, group_index, final_idx, parity_j, parities_per_final_stripe
+            )
+        finally:
+            self._suspended = False
+        self._log(Op.COMPLETE, {
+            "n": name, "g": group_index, "i": final_idx,
+            "j": parity_j, "p": parities_per_final_stripe,
+        })
+
+    def record_new_stripe(self, name, group_index, final_idx, stripe) -> None:
+        if self._suspended:
+            return super().record_new_stripe(name, group_index, final_idx, stripe)
+        self._suspended = True
+        try:
+            super().record_new_stripe(name, group_index, final_idx, stripe)
+        finally:
+            self._suspended = False
+        self._log(Op.NEW_STRIPE, {
+            "n": name, "g": group_index, "i": final_idx, "s": encode_stripe(stripe),
+        })
+
+    def try_finalize(self, name: str):
+        if self._suspended:
+            return super().try_finalize(name)
+        self._suspended = True
+        try:
+            out = super().try_finalize(name)
+        finally:
+            self._suspended = False
+        if out is not None:
+            self._log(Op.FINALIZE, {"n": name})
+        return out
+
+    def abort_transcode(self, name: str) -> None:
+        if self._suspended:
+            return super().abort_transcode(name)
+        had_job = name in self.utm
+        self._suspended = True
+        try:
+            super().abort_transcode(name)
+        finally:
+            self._suspended = False
+        if had_job:
+            self._log(Op.ABORT, {"n": name})

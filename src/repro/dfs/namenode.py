@@ -117,12 +117,28 @@ class Namenode:
             files[name] = meta
             seq += 1
             order[name] = seq
-            for chunk in meta.all_chunks():
-                index = node_files.get(chunk.node_id)
-                if index is None:
-                    node_files[_intern(chunk.node_id)] = {name: None}
-                else:
-                    index[name] = None
+            # Inlined chunk walk (not meta.all_chunks()): at a million
+            # files the per-file list concatenations dominate this loop.
+            for stripe in meta.stripes:
+                for chunk in stripe.data:
+                    index = node_files.get(chunk.node_id)
+                    if index is None:
+                        node_files[_intern(chunk.node_id)] = {name: None}
+                    else:
+                        index[name] = None
+                for chunk in stripe.parities:
+                    index = node_files.get(chunk.node_id)
+                    if index is None:
+                        node_files[_intern(chunk.node_id)] = {name: None}
+                    else:
+                        index[name] = None
+            for block in meta.replica_blocks:
+                for chunk in block.copies:
+                    index = node_files.get(chunk.node_id)
+                    if index is None:
+                        node_files[_intern(chunk.node_id)] = {name: None}
+                    else:
+                        index[name] = None
         self._file_seq = seq
 
     def lookup(self, name: str) -> FileMeta:
@@ -136,6 +152,14 @@ class Namenode:
         self._file_order.pop(name, None)
         # Per-node index entries are left behind and purged lazily by
         # chunks_on_node — deletion stays O(1) regardless of file size.
+        if name in self.utm:
+            # Deleting (or renaming) a file mid-transcode drops its job:
+            # a UTM entry and queued ATQ groups keyed by a name that no
+            # longer resolves would otherwise leak forever and crash any
+            # worker that later polls them.
+            del self.utm[name]
+            self.atq = deque(g for g in self.atq if g.file_name != name)
+            meta.state = FileState.HEALTHY
         return meta
 
     def next_chunk_id(self, prefix: str) -> str:
@@ -307,18 +331,27 @@ class Namenode:
             meta.state = FileState.HEALTHY
 
     # -- persistence --------------------------------------------------------
-    def snapshot(self) -> dict:
-        """Durable Namenode state: the namespace only.
+    def snapshot(self, include_transcode: bool = False) -> dict:
+        """Durable Namenode state.
 
-        The ATQ and UTM are deliberately absent (§6.2): the transcode
+        By default the ATQ and UTM are absent (§6.2): the transcode
         completion signal is the reference point for filesystem state, so
         in-flight transcode bookkeeping never needs to be persisted — a
         restart simply re-runs any unfinished conversion.
+
+        ``include_transcode=True`` captures them anyway; the op-log
+        journal (:mod:`repro.dfs.journal`) uses this so queued and
+        half-finished conversions survive a restart instead of being
+        redone from scratch.
         """
-        return {
+        snap = {
             "files": dict(self.files),
             "chunk_seq": self._chunk_seq,
         }
+        if include_transcode:
+            snap["atq"] = list(self.atq)
+            snap["utm"] = dict(self.utm)
+        return snap
 
     @classmethod
     def restore(cls, snapshot: dict) -> "Namenode":
@@ -326,16 +359,38 @@ class Namenode:
         node = cls()
         node.files = dict(snapshot["files"])
         node._chunk_seq = snapshot["chunk_seq"]
+        with_transcode = "utm" in snapshot
+        if with_transcode:
+            node.utm = dict(snapshot["utm"])
+            node.atq = deque(snapshot.get("atq", ()))
         for meta in node.files.values():
-            # In-flight transcodes died with the old process; their files
-            # revert to HEALTHY under the old (still valid) metadata.
-            meta.state = FileState.HEALTHY
+            if not with_transcode:
+                # In-flight transcodes died with the old process; their
+                # files revert to HEALTHY under the old (still valid)
+                # metadata.  With transcode state captured, file states
+                # were consistent at snapshot time and stay as they are.
+                meta.state = FileState.HEALTHY
             node._file_seq += 1
             node._file_order[meta.name] = node._file_seq
             node.note_file(meta)
         return node
 
     # -- capacity / health --------------------------------------------------
+    def metadata_stats(self) -> dict:
+        """Namespace size summary (report/observability; O(chunks))."""
+        n_chunks = 0
+        for meta in self.files.values():
+            for stripe in meta.stripes:
+                n_chunks += len(stripe.data) + len(stripe.parities)
+            for block in meta.replica_blocks:
+                n_chunks += len(block.copies)
+        return {
+            "files": len(self.files),
+            "chunks": n_chunks,
+            "atq": len(self.atq),
+            "utm": len(self.utm),
+        }
+
     def chunks_on_node(self, node_id: str) -> List[Tuple[FileMeta, ChunkMeta]]:
         """All (file, chunk) pairs currently homed on ``node_id``.
 
@@ -359,10 +414,22 @@ class Namenode:
             meta = files.get(name)
             found = False
             if meta is not None:
-                for chunk in meta.all_chunks():
-                    if chunk.node_id == node_id:
-                        out.append((meta, chunk))
-                        found = True
+                # Inlined chunk walk — same results as meta.all_chunks()
+                # without building a throwaway list per file.
+                for stripe in meta.stripes:
+                    for chunk in stripe.data:
+                        if chunk.node_id == node_id:
+                            out.append((meta, chunk))
+                            found = True
+                    for chunk in stripe.parities:
+                        if chunk.node_id == node_id:
+                            out.append((meta, chunk))
+                            found = True
+                for block in meta.replica_blocks:
+                    for chunk in block.copies:
+                        if chunk.node_id == node_id:
+                            out.append((meta, chunk))
+                            found = True
             if not found:
                 stale.append(name)
         for name in stale:

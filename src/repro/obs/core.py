@@ -120,6 +120,38 @@ class Observability:
             )
             self.set_clock(CostModelClock(fs.metrics, disk_mb_s, net_mb_s))
         self.attach_metrics(fs.metrics, capacity_fn=fs.capacity_used)
+        if hasattr(fs.namenode, "metadata_stats"):
+            self.attach_namenode(fs.namenode)
+        return self
+
+    def attach_namenode(self, namenode) -> "Observability":
+        """Metadata-plane gauges: namespace size plus, when the control
+        plane is journaled/sharded, journal depth and recovery counters.
+        Per-shard series carry a ``shard`` label; the totals row uses
+        ``shard="all"`` so single-node and sharded reports line up."""
+
+        def collect() -> Iterable[Tuple[str, str, dict, float]]:
+            stats = namenode.metadata_stats()
+            per_shard = stats.pop("shards", None)
+            rows = [("all", stats)]
+            if per_shard is not None:
+                rows += [(str(i), s) for i, s in enumerate(per_shard)]
+            for shard, s in rows:
+                labels = {"shard": shard}
+                yield "dfs_meta_files", GAUGE, labels, s["files"]
+                yield "dfs_meta_chunks", GAUGE, labels, s["chunks"]
+                yield "dfs_meta_transcode_queued", GAUGE, labels, s["atq"]
+                yield "dfs_meta_transcode_inflight", GAUGE, labels, s["utm"]
+                if "journal_records" in s:
+                    yield "dfs_journal_records", GAUGE, labels, s["journal_records"]
+                    yield "dfs_journal_bytes", GAUGE, labels, s["journal_bytes"]
+                    yield (
+                        "dfs_journal_snapshots", GAUGE, labels,
+                        s["journal_snapshots"],
+                    )
+                    yield "dfs_journal_replayed", GAUGE, labels, s["replayed"]
+
+        self.registry.add_collector(collect)
         return self
 
     def attach_metrics(self, metrics, capacity_fn=None) -> "Observability":
@@ -170,6 +202,9 @@ class NoopObservability:
         return self
 
     def attach_metrics(self, metrics, capacity_fn=None) -> "NoopObservability":
+        return self
+
+    def attach_namenode(self, namenode) -> "NoopObservability":
         return self
 
     def attach_codec(self, stats=None) -> "NoopObservability":

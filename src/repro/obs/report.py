@@ -41,13 +41,21 @@ def run_failure_burst_demo(
     file_kb: int = 96,
     chunk_kb: int = 4,
     n_failures: int = 2,
+    namenode=None,
 ):
-    """A deterministic failure-burst run on an instrumented MorphFS."""
+    """A deterministic failure-burst run on an instrumented MorphFS.
+
+    The control plane defaults to a sharded, journaled namenode so the
+    report shows the metadata plane the paper's cluster would run with;
+    pass ``namenode=Namenode()`` for the bare in-memory one.
+    """
     from repro.core.schemes import CodeKind, ECScheme, HybridScheme
-    from repro.dfs import MorphFS
+    from repro.dfs import MorphFS, ShardedNamenode
     from repro.dfs.integrity import corrupt_chunk
     from repro.sched.tasks import ChunkRepairTask, ScrubTask
 
+    if namenode is None:
+        namenode = ShardedNamenode.journaled(n_shards=4, compact_every=256)
     cc69 = ECScheme(CodeKind.CC, 6, 9)
     cc1215 = ECScheme(CodeKind.CC, 12, 15)
     obs = Observability()
@@ -58,7 +66,8 @@ def run_failure_burst_demo(
     CODEC_STATS.reset()
     obs.attach_codec()
     fs = MorphFS(
-        chunk_size=chunk_kb * KB, future_widths=[6, 12], seed=seed, obs=obs
+        chunk_size=chunk_kb * KB, future_widths=[6, 12], seed=seed, obs=obs,
+        namenode=namenode,
     )
     rng = np.random.default_rng(seed)
 
@@ -219,6 +228,32 @@ def _codec_rows(registry) -> List[List[str]]:
     return rows
 
 
+def _metadata_rows(fs) -> List[List[str]]:
+    stats_fn = getattr(fs.namenode, "metadata_stats", None)
+    if stats_fn is None:
+        return []
+    stats = stats_fn()
+    per_shard = stats.pop("shards", None)
+
+    def row(label: str, s: dict) -> List[str]:
+        cells = [label, f"{s['files']}", f"{s['chunks']}",
+                 f"{s['atq'] + s['utm']}"]
+        if "journal_records" in s:
+            cells += [
+                f"{s['journal_records']}",
+                f"{s['journal_bytes'] / KB:.1f}",
+                f"{s.get('journal_since_snapshot', s['journal_records'])}",
+                f"{s['replayed']}",
+            ]
+        else:
+            cells += ["-"] * 4
+        return cells
+
+    rows = [row(f"shard{i}", s) for i, s in enumerate(per_shard or [])]
+    rows.append(row("total", stats))
+    return rows
+
+
 def _kernel_cache_rows(stats: Dict[str, int]) -> List[List[str]]:
     entries = {
         "plan": stats.get("plans8", 0) + stats.get("plans16", 0),
@@ -274,6 +309,16 @@ def render_report(fs) -> str:
         lines.append("Maintenance by task class")
         lines += _fmt_table(
             ["class", "done", "failed", "dead", "disk KB", "net KB"], maint_rows
+        )
+        lines.append("")
+
+    meta_rows = _metadata_rows(fs)
+    if meta_rows:
+        lines.append("Metadata plane (namenode)")
+        lines += _fmt_table(
+            ["shard", "files", "chunks", "queued",
+             "jrnl recs", "jrnl KB", "since snap", "replayed"],
+            meta_rows,
         )
         lines.append("")
 
@@ -366,6 +411,32 @@ def run_selftest(seed: int = 0) -> int:
     report = render_report(fs)
     if "Operation latency" not in report or "hot spots" not in report:
         failures.append("report rendering incomplete")
+    if "Metadata plane" not in report:
+        failures.append("report lacks the metadata-plane table")
+
+    # Metadata plane: the default control plane is sharded + journaled;
+    # its counters must be in the registry and its journals must replay
+    # back to the live state.
+    stats = fs.namenode.metadata_stats()
+    shards = stats.get("shards")
+    if shards is None:
+        failures.append("demo namenode is not sharded")
+    else:
+        if sum(s["files"] for s in shards) != stats["files"]:
+            failures.append("per-shard file counts do not sum to the total")
+        if stats.get("journal_records", 0) <= 0:
+            failures.append("namenode journals recorded nothing")
+        try:
+            if registry.value("dfs_meta_files", shard="all") != stats["files"]:
+                failures.append("dfs_meta_files gauge disagrees with stats")
+        except KeyError:
+            failures.append("missing registry series dfs_meta_files")
+        from repro.dfs.journal import JournaledNamenode, state_digest
+
+        for si, shard in enumerate(fs.namenode.shards):
+            recovered = JournaledNamenode.recover(shard.journal)
+            if state_digest(recovered) != state_digest(shard):
+                failures.append(f"shard {si} journal replay diverges from live")
 
     if not fs.obs.tracer.finished:
         failures.append("tracer recorded no spans")

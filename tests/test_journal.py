@@ -1,0 +1,278 @@
+"""Journal record codec, log mechanics and snapshot compaction."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.schemes import CodeKind, ECScheme, HybridScheme, Replication
+from repro.dfs.blocks import (
+    ChunkKind,
+    ChunkMeta,
+    ECStripeMeta,
+    FileMeta,
+    FileState,
+    ReplicaBlockMeta,
+)
+from repro.dfs.journal import (
+    Journal,
+    JournalError,
+    JournaledNamenode,
+    Op,
+    decode_file,
+    decode_job,
+    encode_file,
+    encode_job,
+    encode_state,
+    load_state,
+    state_digest,
+)
+from repro.dfs.namenode import ConversionGroup, Namenode, TranscodeJob
+
+# -- strategies ---------------------------------------------------------------
+
+names = st.text(
+    alphabet=st.characters(min_codepoint=33, max_codepoint=126),
+    min_size=1, max_size=12,
+)
+ec_schemes = st.builds(
+    lambda kind, k, r: ECScheme(kind, k, k + r),
+    kind=st.sampled_from([CodeKind.RS, CodeKind.CC]),
+    k=st.integers(1, 12), r=st.integers(1, 4),
+)
+schemes = st.one_of(
+    ec_schemes,
+    st.builds(Replication, copies=st.integers(1, 3)),
+    st.builds(HybridScheme, copies=st.integers(1, 3), ec=ec_schemes),
+)
+chunks = st.builds(
+    ChunkMeta,
+    chunk_id=names, node_id=names,
+    kind=st.sampled_from(list(ChunkKind)), size=st.integers(0, 1 << 20),
+)
+stripes = st.builds(
+    lambda i, data, parities: ECStripeMeta(
+        stripe_index=i, k=len(data), n=len(data) + len(parities),
+        data=data, parities=parities,
+    ),
+    i=st.integers(0, 7),
+    data=st.lists(chunks, min_size=1, max_size=4),
+    parities=st.lists(chunks, max_size=3),
+)
+blocks = st.builds(
+    ReplicaBlockMeta,
+    block_index=st.integers(0, 7), first_chunk=st.integers(0, 64),
+    n_chunks=st.integers(1, 8), copies=st.lists(chunks, max_size=3),
+)
+file_metas = st.builds(
+    FileMeta,
+    name=names, size=st.integers(0, 1 << 30), chunk_size=st.integers(1, 1 << 16),
+    scheme=schemes,
+    stripes=st.lists(stripes, max_size=3),
+    replica_blocks=st.lists(blocks, max_size=2),
+    state=st.sampled_from(list(FileState)),
+    version=st.integers(0, 9),
+)
+groups = st.builds(
+    ConversionGroup,
+    file_name=names, group_index=st.integers(0, 7),
+    initial_stripe_indices=st.lists(st.integers(0, 15), max_size=4),
+    n_final_stripes=st.integers(1, 4), target_scheme=schemes,
+)
+jobs = st.builds(
+    TranscodeJob,
+    file_name=names, target_scheme=schemes,
+    groups=st.lists(groups, max_size=3),
+    pending_bits=st.integers(0, (1 << 24) - 1),
+    total_bits=st.integers(0, 24),
+    new_stripes=st.dictionaries(
+        st.tuples(st.integers(0, 3), st.integers(0, 3)), stripes, max_size=3
+    ),
+    deadline=st.one_of(
+        st.none(), st.floats(allow_nan=False, allow_infinity=False)
+    ),
+)
+
+
+# -- codec round-trips --------------------------------------------------------
+
+@settings(max_examples=100, deadline=None)
+@given(file_metas)
+def test_file_record_roundtrip(meta):
+    doc = encode_file(meta)
+    back = decode_file(doc)
+    assert encode_file(back) == doc
+    assert back.name == meta.name and back.scheme == meta.scheme
+    assert back.state is meta.state and back.version == meta.version
+    assert [c.chunk_id for s in back.stripes for c in s.data] == [
+        c.chunk_id for s in meta.stripes for c in s.data
+    ]
+
+
+@settings(max_examples=100, deadline=None)
+@given(jobs)
+def test_job_record_roundtrip(job):
+    doc = encode_job(job)
+    back = decode_job(doc)
+    assert encode_job(back) == doc
+    assert back.pending_bits == job.pending_bits
+    assert back.deadline == job.deadline
+    assert sorted(back.new_stripes) == sorted(job.new_stripes)
+
+
+def test_lrc_scheme_roundtrip():
+    from repro.dfs.journal import decode_scheme, encode_scheme
+
+    s = ECScheme(CodeKind.LRC, 12, 16, local_groups=2, r_global=2)
+    assert decode_scheme(encode_scheme(s)) == s
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    st.lists(file_metas, max_size=5, unique_by=lambda m: m.name),
+    st.integers(0, 1 << 20),
+)
+def test_state_roundtrip_with_inflight_transcode(metas, chunk_seq):
+    """snapshot/restore through the journal's canonical state codec,
+    including queued ATQ groups and a half-finished UTM job."""
+    nn = Namenode()
+    for meta in metas:
+        nn.register_file(meta)
+    nn._chunk_seq = chunk_seq
+    if metas:
+        meta = metas[0]
+        target = ECScheme(CodeKind.CC, 12, 15)
+        gs = [ConversionGroup(
+            file_name=meta.name, group_index=0,
+            initial_stripe_indices=list(range(len(meta.stripes))),
+            n_final_stripes=1, target_scheme=target,
+        )]
+        nn.enqueue_transcode(meta.name, target, gs, 3)
+        nn.complete_parity(meta.name, 0, 0, 0, 3)
+    fresh = Namenode()
+    load_state(fresh, encode_state(nn))
+    assert state_digest(fresh) == state_digest(nn)
+    assert list(fresh.files) == list(nn.files)
+    # Derived caches were rebuilt, not copied.
+    for name in fresh.files:
+        assert fresh._file_order[name] > 0
+
+
+# -- log mechanics ------------------------------------------------------------
+
+def _meta(name):
+    return FileMeta(name=name, size=0, chunk_size=4096,
+                    scheme=ECScheme(CodeKind.CC, 6, 9))
+
+
+def test_append_records_prefix_and_stats():
+    j = Journal()
+    j.append(Op.REGISTER, {"a": 1})
+    j.append(Op.NOTE, {"b": 2})
+    j.append(Op.MINT, {"c": 3})
+    assert len(j) == 3
+    assert [op for op, _ in j.records()] == [Op.REGISTER, Op.NOTE, Op.MINT]
+    assert [p for _, p in j.prefix(2).records()] == [{"a": 1}, {"b": 2}]
+    s = j.stats()
+    assert s["records"] == 3 and s["appended_total"] == 3
+    assert s["snapshots"] == 0 and s["records_since_snapshot"] == 3
+
+
+def test_corruption_before_tail_raises():
+    j = Journal()
+    for i in range(4):
+        j.append(Op.NOTE, {"i": i})
+    raw = bytearray(j.data)
+    # Flip a payload byte of the *second* record: damage that does not
+    # reach EOF must be treated as corruption, not a torn tail.
+    raw[j._offsets[1] + 16] ^= 0xFF
+    with pytest.raises(JournalError):
+        Journal()._load(bytes(raw))
+
+
+def test_torn_tail_is_truncated_in_memory():
+    j = Journal()
+    for i in range(4):
+        j.append(Op.NOTE, {"i": i})
+    fresh = Journal()
+    fresh._load(j.data[:-2])
+    assert len(fresh) == 3
+
+
+def test_future_record_version_rejected():
+    import struct
+    import zlib
+
+    body = b"{}"
+    rec = struct.pack("<IHHI", len(body), 99, int(Op.NOTE), zlib.crc32(body)) + body
+    with pytest.raises(JournalError):
+        Journal()._load(rec)
+
+
+def test_file_backed_journal_reopens(tmp_path):
+    path = tmp_path / "edits.log"
+    nn = JournaledNamenode(journal=Journal(path))
+    nn.register_file(_meta("a"))
+    nn.next_chunk_ids("a/s0d", 6)
+    nn.rename("a", "b")
+    nn.journal.close()
+    recovered = JournaledNamenode.recover(Journal(path))
+    assert sorted(recovered.files) == ["b"]
+    assert recovered._chunk_seq == nn._chunk_seq
+    assert state_digest(recovered) == state_digest(nn)
+    assert recovered.replayed == 3
+
+
+def test_mint_replay_advances_sequence():
+    nn = JournaledNamenode()
+    nn.next_chunk_id("x")
+    nn.next_chunk_ids("y", 7)
+    recovered = JournaledNamenode.recover(nn.journal)
+    assert recovered._chunk_seq == 8
+    assert recovered.next_chunk_id("z") == nn.next_chunk_id("z")
+
+
+def test_auto_compaction_folds_log_to_snapshot():
+    nn = JournaledNamenode(compact_every=4)
+    for i in range(10):
+        nn.register_file(_meta(f"f{i}"))
+    s = nn.journal.stats()
+    assert s["snapshots"] == 1
+    assert s["records"] < 10
+    assert s["records_since_snapshot"] == s["records"] - 1
+    recovered = JournaledNamenode.recover(nn.journal)
+    assert state_digest(recovered) == state_digest(nn)
+
+
+def test_manual_compaction_single_record(tmp_path):
+    path = tmp_path / "edits.log"
+    nn = JournaledNamenode(journal=Journal(path))
+    for i in range(6):
+        nn.register_file(_meta(f"f{i}"))
+    nn.unregister_file("f3")
+    before = state_digest(nn)
+    nn.compact()
+    assert len(nn.journal) == 1
+    assert [op for op, _ in nn.journal.records()] == [Op.SNAPSHOT]
+    nn.journal.close()
+    recovered = JournaledNamenode.recover(Journal(path))
+    assert state_digest(recovered) == before
+
+
+def test_batch_register_is_atomic_in_the_journal():
+    nn = JournaledNamenode()
+    nn.register_file(_meta("dup"))
+    with pytest.raises(ValueError):
+        nn.register_files([_meta("x"), _meta("dup")])
+    # Failed batch: nothing applied, nothing journaled.
+    assert "x" not in nn.files
+    recovered = JournaledNamenode.recover(nn.journal)
+    assert state_digest(recovered) == state_digest(nn)
+
+
+def test_metadata_stats_reports_journal_counters():
+    nn = JournaledNamenode()
+    nn.register_file(_meta("a"))
+    stats = nn.metadata_stats()
+    assert stats["files"] == 1
+    assert stats["journal_records"] == 1
+    assert stats["journal_bytes"] > 0
+    assert stats["replayed"] == 0

@@ -72,6 +72,76 @@ class TestNamespace:
         assert len(found) == 2  # one data chunk per stripe
 
 
+def _full_scan(nn, node_id):
+    """The pre-index O(namespace) implementation, as the oracle."""
+    out = []
+    for meta in nn.files.values():
+        for chunk in meta.all_chunks():
+            if chunk.node_id == node_id:
+                out.append((meta, chunk))
+    return out
+
+
+class TestNodeIndexVsOracle:
+    """The lazy-purge per-node index against a full namespace scan, on
+    the namespace-churn paths where stale entries could survive."""
+
+    def _all_nodes(self, nn):
+        return {c.node_id for m in nn.files.values() for c in m.all_chunks()}
+
+    def test_rename_then_query(self):
+        nn = Namenode()
+        nn.register_file(file_meta("a"))
+        nn.register_file(file_meta("b"))
+        nn.rename("a", "a2")
+        for node in self._all_nodes(nn):
+            assert nn.chunks_on_node(node) == _full_scan(nn, node)
+        # The stale entries under the old name were purged by the query.
+        for index in nn._node_files.values():
+            assert "a" not in index
+
+    def test_delete_then_reregister_same_name(self):
+        nn = Namenode()
+        nn.register_file(file_meta("a"))  # chunks on dn000..dn022
+        nn.unregister_file("a")
+        # Same name comes back with entirely different placements; the
+        # index entries from the first life must not leak into answers.
+        fresh = file_meta("a")
+        for chunk in [c for s in fresh.stripes for c in s.data + s.parities]:
+            chunk.node_id = f"dn{int(chunk.node_id[2:]) + 50:03d}"
+        nn.register_file(fresh)
+        for node in self._all_nodes(nn) | {"dn000", "dn020"}:
+            assert nn.chunks_on_node(node) == _full_scan(nn, node)
+        assert nn.chunks_on_node("dn000") == []
+
+    def test_rename_mid_transcode_drops_job(self):
+        nn = Namenode()
+        meta = file_meta("a")
+        nn.register_file(meta)
+        target = ECScheme(CodeKind.CC, 12, 15)
+        nn.enqueue_transcode("a", target, groups_for(meta, target), 3)
+        nn.rename("a", "b")
+        # The job was keyed by the old name; keeping it would leave UTM
+        # and ATQ entries no worker can ever resolve.
+        assert nn.utm == {}
+        assert len(nn.atq) == 0
+        assert nn.lookup("b").state is FileState.HEALTHY
+
+    def test_unregister_mid_transcode_drops_job(self):
+        nn = Namenode()
+        meta = file_meta("a")
+        nn.register_file(meta)
+        target = ECScheme(CodeKind.CC, 12, 15)
+        nn.enqueue_transcode("a", target, groups_for(meta, target), 3)
+        other = file_meta("keep", stripes=2)
+        nn.register_file(other)
+        nn.enqueue_transcode("keep", target, groups_for(other, target), 3)
+        dropped = nn.unregister_file("a")
+        assert dropped.state is FileState.HEALTHY
+        assert "a" not in nn.utm and "keep" in nn.utm
+        assert all(g.file_name == "keep" for g in nn.atq)
+
+
 class TestTranscodeLifecycle:
     def _setup(self):
         nn = Namenode()

@@ -1,0 +1,216 @@
+"""ShardedNamenode: routing, facade equivalence and deterministic merges."""
+
+from zlib import crc32
+
+import pytest
+
+from repro.core.schemes import CodeKind, ECScheme
+from repro.dfs.blocks import ChunkKind, ChunkMeta, ECStripeMeta, FileMeta
+from repro.dfs.namenode import ConversionGroup, FileNotFoundError_, Namenode
+from repro.dfs.shards import ShardedNamenode
+from repro.dfs.journal import encode_file, state_digest
+
+N_SHARDS = 4
+
+
+def make_meta(name, n_stripes=2, k=3, r=1, node_base=0):
+    meta = FileMeta(name=name, size=n_stripes * k * 64, chunk_size=64,
+                    scheme=ECScheme(CodeKind.CC, k, k + r))
+    for s in range(n_stripes):
+        stripe = ECStripeMeta(stripe_index=s, k=k, n=k + r)
+        for t in range(k):
+            stripe.data.append(ChunkMeta(
+                f"{name}/s{s}d{t}", f"dn{(node_base + t) % 8:03d}",
+                ChunkKind.DATA, 64))
+        for j in range(r):
+            stripe.parities.append(ChunkMeta(
+                f"{name}/s{s}p{j}", f"dn{(node_base + k + j) % 8:03d}",
+                ChunkKind.PARITY, 64))
+        meta.stripes.append(stripe)
+    return meta
+
+
+def names_on_distinct_shards():
+    """One file name per shard, discovered by routing, so tests exercise
+    cross-shard paths regardless of crc32 details."""
+    picked = {}
+    i = 0
+    while len(picked) < N_SHARDS:
+        name = f"file-{i:04d}"
+        picked.setdefault(crc32(name.encode()) % N_SHARDS, name)
+        i += 1
+    return [picked[s] for s in range(N_SHARDS)]
+
+
+def test_routing_is_deterministic_and_total():
+    nn = ShardedNamenode(N_SHARDS)
+    for i in range(100):
+        name = f"f{i}"
+        si = nn.shard_index(name)
+        assert 0 <= si < N_SHARDS
+        assert si == crc32(name.encode()) % N_SHARDS
+        assert nn.shard_for(name) is nn.shards[si]
+
+
+def test_facade_matches_single_namenode():
+    """Same op sequence against one Namenode and the sharded facade:
+    namespace contents, lookups and node-major results agree (the
+    sharded chunks_on_node is a shard-order concat, so compare sets)."""
+    single, sharded = Namenode(), ShardedNamenode(N_SHARDS)
+    metas = [make_meta(f"f{i:03d}", node_base=i) for i in range(24)]
+    for target in (single, sharded):
+        target.register_files([make_meta(f"f{i:03d}", node_base=i)
+                               for i in range(12)])
+        for i in range(12, 24):
+            target.register_file(make_meta(f"f{i:03d}", node_base=i))
+    assert sorted(single.files) == sorted(sharded.files)
+    assert len(sharded.files) == len(single.files) == 24
+    for meta in metas:
+        assert encode_file(sharded.lookup(meta.name)) == encode_file(
+            single.lookup(meta.name)
+        )
+    for node in {c.node_id for m in metas for c in m.all_chunks()}:
+        got = {(m.name, c.chunk_id) for m, c in sharded.chunks_on_node(node)}
+        want = {(m.name, c.chunk_id) for m, c in single.chunks_on_node(node)}
+        assert got == want
+    single.unregister_file("f003")
+    sharded.unregister_file("f003")
+    assert sorted(single.files) == sorted(sharded.files)
+    with pytest.raises(FileNotFoundError_):
+        sharded.lookup("f003")
+
+
+def test_cross_shard_rename_moves_the_meta():
+    nn = ShardedNamenode(N_SHARDS)
+    a, b, *_ = names_on_distinct_shards()
+    assert nn.shard_index(a) != nn.shard_index(b)
+    meta = make_meta(a)
+    nn.register_file(meta)
+    nn.rename(a, b)
+    assert nn.lookup(b) is meta
+    assert meta.name == b
+    assert a not in nn.files
+    assert b in nn.shards[nn.shard_index(b)].files
+    # Rename onto an occupied name fails cleanly, original stays put.
+    nn.register_file(make_meta(a))
+    with pytest.raises(ValueError):
+        nn.rename(a, b)
+    assert nn.lookup(a).name == a
+
+
+def test_same_shard_rename_delegates():
+    nn = ShardedNamenode(1)
+    nn.register_file(make_meta("x"))
+    nn.rename("x", "y")
+    assert "y" in nn.files and "x" not in nn.files
+
+
+def test_chunk_ids_never_collide_across_shards():
+    nn = ShardedNamenode(N_SHARDS)
+    minted = set()
+    for name in names_on_distinct_shards():
+        for cid in nn.next_chunk_ids(f"{name}/s0d", 5):
+            assert cid not in minted
+            minted.add(cid)
+        cid = nn.next_chunk_id(f"{name}/p")
+        assert cid not in minted
+        minted.add(cid)
+    assert len(minted) == N_SHARDS * 6
+
+
+def test_file_order_keys_compare_globally():
+    nn = ShardedNamenode(N_SHARDS)
+    names = [f"f{i:03d}" for i in range(16)]
+    for name in names:
+        nn.register_file(make_meta(name))
+    keys = [nn._file_order[name] for name in names]
+    assert len(set(keys)) == len(keys)
+    assert all(name in nn._file_order for name in names)
+    assert nn._file_order.get("ghost") is None
+    # Per-shard relative order is preserved under the global sort.
+    by_key = [name for _, name in sorted(zip(keys, names))]
+    for si in range(N_SHARDS):
+        mine = [n for n in names if nn.shard_index(n) == si]
+        assert [n for n in by_key if nn.shard_index(n) == si] == mine
+
+
+def test_poll_work_budget_spans_shards():
+    nn = ShardedNamenode(N_SHARDS)
+    target = ECScheme(CodeKind.CC, 6, 8)
+    for name in names_on_distinct_shards():
+        meta = make_meta(name)
+        nn.register_file(meta)
+        gs = [ConversionGroup(file_name=name, group_index=0,
+                              initial_stripe_indices=[0, 1],
+                              n_final_stripes=1, target_scheme=target)]
+        nn.enqueue_transcode(name, target, gs, 2)
+    assert len(nn.atq) == N_SHARDS
+    first = nn.poll_work(max_items=3)
+    assert len(first) == 3
+    assert len(nn.poll_work(max_items=8)) == 1
+    # Per-file poll still routes to the owning shard.
+    assert nn.poll_work_for("anything", 4) == []
+
+
+def test_transcode_lifecycle_through_facade():
+    nn = ShardedNamenode(N_SHARDS)
+    name = "job-file"
+    meta = make_meta(name, n_stripes=2, k=3, r=1)
+    nn.register_file(meta)
+    target = ECScheme(CodeKind.CC, 6, 8)
+    gs = [ConversionGroup(file_name=name, group_index=0,
+                          initial_stripe_indices=[0, 1],
+                          n_final_stripes=1, target_scheme=target)]
+    nn.enqueue_transcode(name, target, gs, 2)
+    assert name in nn.utm
+    nn.poll_work_for(name, 4)
+    stripe = ECStripeMeta(stripe_index=0, k=6, n=8)
+    for t in range(6):
+        stripe.data.append(ChunkMeta(f"n/d{t}", "dn000", ChunkKind.DATA, 64))
+    for j in range(2):
+        stripe.parities.append(ChunkMeta(f"n/p{j}", "dn001", ChunkKind.PARITY, 64))
+        nn.complete_parity(name, 0, 0, j, 2)
+    nn.record_new_stripe(name, 0, 0, stripe)
+    old = nn.try_finalize(name)
+    assert old is not None
+    assert nn.lookup(name).scheme == target
+    assert name not in nn.utm
+
+
+def test_snapshot_restore_roundtrip():
+    nn = ShardedNamenode(N_SHARDS)
+    for i in range(10):
+        nn.register_file(make_meta(f"f{i:03d}", node_base=i))
+    snap = nn.snapshot()
+    back = ShardedNamenode.restore(snap)
+    assert back.n_shards == N_SHARDS
+    for si in range(N_SHARDS):
+        assert state_digest(back.shards[si]) == state_digest(nn.shards[si])
+
+
+def test_metadata_stats_aggregates_shards():
+    nn = ShardedNamenode.journaled(N_SHARDS)
+    for i in range(8):
+        nn.register_file(make_meta(f"f{i:03d}"))
+    stats = nn.metadata_stats()
+    assert stats["files"] == 8
+    assert stats["chunks"] == 8 * 2 * 4
+    assert len(stats["shards"]) == N_SHARDS
+    assert stats["files"] == sum(s["files"] for s in stats["shards"])
+    assert stats["journal_records"] == sum(
+        s["journal_records"] for s in stats["shards"]
+    )
+    assert stats["journal_records"] >= 8
+
+
+def test_views_behave_like_mappings():
+    nn = ShardedNamenode(N_SHARDS)
+    names = [f"f{i:03d}" for i in range(6)]
+    for name in names:
+        nn.register_file(make_meta(name))
+    assert set(nn.files) == set(names)
+    assert len(nn.files) == 6
+    assert "f000" in nn.files
+    assert nn.files.get("ghost") is None
+    assert sorted(m.name for m in nn.files.values()) == names
+    assert len(nn.utm) == 0
