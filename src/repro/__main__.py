@@ -11,6 +11,8 @@ Usage::
     python -m repro bench                # codec perf -> BENCH_codec.json
     python -m repro bench --quick --check  # CI schema smoke, no overwrite
     python -m repro profile              # cProfile the failure-burst sim
+    python -m repro scenarios            # adversarial scenario suite
+    python -m repro scenarios --quick --check  # CI scenario smoke
 """
 
 from __future__ import annotations
@@ -212,6 +214,10 @@ def main(argv=None) -> int:
         from repro.bench.profile import main as profile_main
 
         return profile_main(args[1:])
+    if args[0] == "scenarios":
+        from repro.cluster.scenarios import main as scenarios_main
+
+        return scenarios_main(args[1:])
     targets = list(COMMANDS) if args == ["all"] else args
     unknown = [t for t in targets if t not in COMMANDS]
     if unknown:

@@ -366,6 +366,37 @@ def bench_namenode_meta(n_files: int, repeats: int) -> Dict[str, Dict]:
     }
 
 
+def bench_scenarios(quick: bool) -> Dict[str, Dict]:
+    """Adversarial scenario suite outcomes as bench metrics.
+
+    Two metrics per scenario: ``scenario_<name>_durability`` is the
+    fraction of workload files that read back byte-exact after the
+    adversity (the suite itself raises unless every invariant holds, so
+    a committed value is always 1.0 — the point of the metric is that a
+    regression fails bench generation outright), and
+    ``scenario_<name>_fg_p99_ms`` is the budgeted foreground p99 of the
+    scenario-shaped failure burst, the latency the scheduler guarantees.
+    """
+    from repro.cluster.scenarios import run_scenarios
+
+    metrics: Dict[str, Dict] = {}
+    for name, result in run_scenarios(seed=0, quick=quick).items():
+        metrics[f"scenario_{name}_durability"] = _metric(
+            result.files_verified / max(result.files_verified, 1),
+            "fraction",
+            files=result.files_verified,
+            lost_chunks=result.lost_chunks,
+            trace=result.trace_digest[:16],
+        )
+        metrics[f"scenario_{name}_fg_p99_ms"] = _metric(
+            result.fg_p99_ms,
+            "ms",
+            unthrottled_ms=round(result.fg_p99_unthrottled_ms, 3),
+            seed=result.seed,
+        )
+    return metrics
+
+
 def run_benchmarks(quick: bool = False) -> Dict[str, Dict]:
     """All benchmark metrics, in a deterministic order."""
     chunk = 256 * 1024 if quick else 1024 * 1024
@@ -388,6 +419,7 @@ def run_benchmarks(quick: bool = False) -> Dict[str, Dict]:
     metrics.update(bench_gf16_wide(chunk, repeats))
     metrics.update(bench_event_engine(events, repeats))
     metrics.update(bench_namenode_meta(files, repeats))
+    metrics.update(bench_scenarios(quick))
     return metrics
 
 

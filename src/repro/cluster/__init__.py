@@ -8,11 +8,16 @@
 * :mod:`repro.cluster.metrics` — disk/network/CPU/memory accounting.
 * :mod:`repro.cluster.placement` — block placement policies, including
   Morph's k*-separation and parity co-location (§5.3).
-* :mod:`repro.cluster.failure` — failure injection.
+* :mod:`repro.cluster.failure` — failure injection (independent and
+  correlated rack/switch bursts).
+* :mod:`repro.cluster.partition` — network partition reachability mask.
+* :mod:`repro.cluster.scenarios` — the adversarial scenario suite
+  (`python -m repro scenarios`).
 """
 
 from repro.cluster.engine import AllOf, AnyOf, Environment, Resource, Timeout
-from repro.cluster.topology import Cluster, ClusterSpec, Node
+from repro.cluster.partition import NetworkPartition
+from repro.cluster.topology import Cluster, ClusterSpec, Node, NodeClass
 from repro.cluster.metrics import IOMetrics, NodeMetrics
 from repro.cluster.placement import (
     PlacementError,
@@ -29,7 +34,9 @@ __all__ = [
     "AnyOf",
     "Cluster",
     "ClusterSpec",
+    "NetworkPartition",
     "Node",
+    "NodeClass",
     "IOMetrics",
     "NodeMetrics",
     "PlacementError",

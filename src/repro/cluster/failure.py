@@ -1,4 +1,14 @@
-"""Failure injection for recovery and degraded-mode experiments."""
+"""Failure injection for recovery and degraded-mode experiments.
+
+Beyond independent node failures, the injector drives the correlated
+patterns production failure data shows (XORing Elephants: failures
+arrive in rack/switch bursts): whole-rack failures, multi-rack bursts,
+and seeded fractional failures with consistent fraction-of-total
+semantics between :meth:`FailureInjector.fail_fraction` and
+:meth:`repro.cluster.topology.Cluster.fail_fraction` — both sample
+victims from the *alive* population only, so repeated injections always
+add the requested number of new failures.
+"""
 
 from __future__ import annotations
 
@@ -32,9 +42,49 @@ class FailureInjector:
             self.failed_nodes.add(node_id)
         return ids
 
-    def fail_fraction(self, fraction: float) -> List[str]:
-        count = max(1, int(round(fraction * len(self.cluster))))
+    def fail_fraction(self, fraction: float, of_alive: bool = False) -> List[str]:
+        """Fail ``fraction`` of the cluster (of the alive population when
+        ``of_alive`` — same semantics as ``Cluster.fail_fraction``)."""
+        base = (
+            len(self.cluster.alive_nodes()) if of_alive else len(self.cluster)
+        )
+        count = max(1, int(round(fraction * base)))
         return self.fail_random_nodes(count)
+
+    # -- correlated failures ---------------------------------------------------
+    def fail_rack(self, rack: int) -> List[str]:
+        """Take down every live node in one rack (switch/PDU failure)."""
+        ids = self.cluster.fail_rack(rack)
+        self.failed_nodes.update(ids)
+        return ids
+
+    def fail_random_rack(self) -> int:
+        """Fail one rack chosen among racks that still have live nodes."""
+        candidates = [
+            rack
+            for rack in self.cluster.racks()
+            if any(n.is_alive for n in self.cluster.nodes_in_rack(rack))
+        ]
+        if not candidates:
+            raise ValueError("no rack with live nodes left to fail")
+        rack = candidates[int(self.rng.integers(len(candidates)))]
+        self.fail_rack(rack)
+        return rack
+
+    def fail_correlated_burst(self, n_racks: int) -> List[str]:
+        """A correlated burst: ``n_racks`` whole racks go down together."""
+        ids: List[str] = []
+        for _ in range(n_racks):
+            rack = self.fail_random_rack()
+            ids.extend(
+                n.node_id for n in self.cluster.nodes_in_rack(rack)
+            )
+        return ids
+
+    # -- recovery --------------------------------------------------------------
+    def recover_node(self, node_id: str) -> None:
+        self.cluster.recover_node(node_id)
+        self.failed_nodes.discard(node_id)
 
     def recover_all(self) -> None:
         for node_id in list(self.failed_nodes):

@@ -32,13 +32,17 @@ class DiskModel:
     straggler_shape: float = 1.6  # Pareto alpha; smaller = heavier tail
     straggler_scale_s: float = 0.05
 
-    def service_time(self, rng: np.random.Generator, size_bytes: float) -> float:
+    def service_time(
+        self, rng: np.random.Generator, size_bytes: float, multiplier: float = 1.0
+    ) -> float:
+        """One IO's service time; ``multiplier`` scales the whole draw
+        (per-node hardware skew: slow disks > 1, SSD tiers < 1)."""
         seek = rng.lognormal(np.log(self.seek_median_s), self.seek_sigma)
         transfer = size_bytes / (self.bandwidth_mb_s * MB)
         tail = 0.0
         if rng.random() < self.straggler_prob:
             tail = self.straggler_scale_s * (rng.pareto(self.straggler_shape) + 1.0)
-        return seek + transfer + tail
+        return (seek + transfer + tail) * multiplier
 
 
 @dataclass
@@ -49,9 +53,11 @@ class NetworkModel:
     bandwidth_mb_s: float = 4500.0
     jitter_sigma: float = 0.35
 
-    def transfer_time(self, rng: np.random.Generator, size_bytes: float) -> float:
+    def transfer_time(
+        self, rng: np.random.Generator, size_bytes: float, multiplier: float = 1.0
+    ) -> float:
         base = self.rtt_s + size_bytes / (self.bandwidth_mb_s * MB)
-        return base * rng.lognormal(0.0, self.jitter_sigma)
+        return base * rng.lognormal(0.0, self.jitter_sigma) * multiplier
 
 
 @dataclass

@@ -40,12 +40,20 @@ class PlacementPolicy:
     def __init__(self, cluster: Cluster, seed: int = 0):
         self.cluster = cluster
         self.rng = np.random.default_rng(seed)
+        #: node class preferred for new placements (``None`` = no
+        #: preference). Heterogeneous clusters set this per file from the
+        #: lifecycle tier mapping: hot files land on the fast tier, cold
+        #: ones on the dense tier. A preference never *fails* a
+        #: placement — when the preferred class can't supply ``count``
+        #: nodes the remainder comes from the rest of the cluster.
+        self.prefer_class: Optional[str] = None
 
     def pick_nodes(
         self,
         count: int,
         exclude: Optional[Sequence[str]] = None,
         spread_racks: bool = True,
+        prefer_class: Optional[str] = None,
     ) -> List[str]:
         """Pick ``count`` distinct live nodes, avoiding ``exclude``."""
         excluded = set(exclude or [])
@@ -54,16 +62,30 @@ class PlacementPolicy:
             raise PlacementError(
                 f"need {count} nodes, only {len(pool)} available after exclusions"
             )
+        prefer = prefer_class if prefer_class is not None else self.prefer_class
         if not spread_racks:
             idx = self.rng.choice(len(pool), size=count, replace=False)
-            return [pool[int(i)].node_id for i in idx]
+            picked_nodes = [pool[int(i)] for i in idx]
+            if prefer:
+                # Stable reorder: preferred-class picks first. The rng
+                # draw is identical with or without a preference, so a
+                # homogeneous cluster is unaffected.
+                picked_nodes.sort(key=lambda n: n.node_class != prefer)
+            return [n.node_id for n in picked_nodes]
         by_rack: dict = {}
+        klass = {n.node_id: n.node_class for n in pool}
         for node in pool:
             by_rack.setdefault(node.rack, []).append(node.node_id)
         racks = list(by_rack)
         self.rng.shuffle(racks)
         for rack in racks:
             self.rng.shuffle(by_rack[rack])
+            if prefer:
+                # Within each rack, preferred-class nodes rank first; the
+                # cross-rack round-robin below then consumes the fast
+                # tier of every rack before touching the rest. Stable
+                # sort keeps the shuffled order within each class.
+                by_rack[rack].sort(key=lambda nid: klass[nid] != prefer)
         picked: List[str] = []
         level = 0
         while len(picked) < count:

@@ -1,14 +1,26 @@
-"""Cluster topology: racks, nodes, disks.
+"""Cluster topology: racks, nodes, disks, hardware tiers.
 
 The experimental scale mirrors the paper's testbed: 1 Namenode, 23
 Datanodes, 5 client nodes, one HDD per Datanode, 40 GbE. Topology is
 plain data; behaviour lives in the DFS and the event-driven experiments.
+
+Two extensions support the adversarial scenario suite:
+
+* **Per-node hardware skew.** ``ClusterSpec.node_disk_multipliers`` /
+  ``node_net_multipliers`` scale one node's service times — a multiplier
+  of 8.0 models a slow disk (straggler), 0.1 models an SSD. The latency
+  models accept the multiplier; the functional DFS consults it for
+  hedged-read policy decisions.
+* **Node classes (tiers).** ``ClusterSpec.node_classes`` partitions the
+  cluster into named hardware tiers (e.g. ``ssd`` / ``hdd``) that feed
+  placement preferences and the lifecycle planner. Classes are assigned
+  round-robin across racks so a tier never concentrates in one rack.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional
+from typing import Dict, List, Optional, Sequence
 
 from repro.cluster.latency import CpuModel, DiskModel, MemoryModel, NetworkModel
 
@@ -23,12 +35,26 @@ class Node:
     rack: int
     disk_capacity_bytes: float = 1 * TB
     is_alive: bool = True
+    #: hardware tier this node belongs to ("" = untiered cluster)
+    node_class: str = ""
 
     def __hash__(self):
         return hash(self.node_id)
 
     def __eq__(self, other):
         return isinstance(other, Node) and self.node_id == other.node_id
+
+
+@dataclass(frozen=True)
+class NodeClass:
+    """A hardware tier: how many nodes, and how their IO scales."""
+
+    name: str
+    count: int
+    #: service-time scaling vs the spec's base models (<1 = faster)
+    disk_multiplier: float = 1.0
+    net_multiplier: float = 1.0
+    disk_capacity_bytes: Optional[float] = None
 
 
 @dataclass
@@ -44,6 +70,13 @@ class ClusterSpec:
     memory: MemoryModel = field(default_factory=MemoryModel)
     #: battery-backed buffer cache per Datanode (paper: 512 MB)
     buffer_cache_bytes: float = 512 * 1024 * 1024
+    #: per-node service-time multipliers (straggler injection); nodes not
+    #: listed run at 1.0
+    node_disk_multipliers: Dict[str, float] = field(default_factory=dict)
+    node_net_multipliers: Dict[str, float] = field(default_factory=dict)
+    #: hardware tiers; counts must sum to <= n_datanodes (the remainder
+    #: gets the last class)
+    node_classes: Optional[Sequence[NodeClass]] = None
 
 
 class Cluster:
@@ -51,15 +84,49 @@ class Cluster:
 
     def __init__(self, spec: Optional[ClusterSpec] = None):
         self.spec = spec or ClusterSpec()
-        self.nodes: List[Node] = [
-            Node(
+        classes = self._assign_classes()
+        self.nodes: List[Node] = []
+        for i in range(self.spec.n_datanodes):
+            klass = classes[i] if classes else None
+            capacity = self.spec.disk_capacity_bytes
+            if klass is not None and klass.disk_capacity_bytes is not None:
+                capacity = klass.disk_capacity_bytes
+            node = Node(
                 node_id=f"dn{i:03d}",
                 rack=i % self.spec.n_racks,
-                disk_capacity_bytes=self.spec.disk_capacity_bytes,
+                disk_capacity_bytes=capacity,
+                node_class=klass.name if klass is not None else "",
             )
-            for i in range(self.spec.n_datanodes)
-        ]
+            self.nodes.append(node)
+            if klass is not None:
+                if klass.disk_multiplier != 1.0:
+                    self.spec.node_disk_multipliers.setdefault(
+                        node.node_id, klass.disk_multiplier
+                    )
+                if klass.net_multiplier != 1.0:
+                    self.spec.node_net_multipliers.setdefault(
+                        node.node_id, klass.net_multiplier
+                    )
         self._by_id: Dict[str, Node] = {n.node_id: n for n in self.nodes}
+
+    def _assign_classes(self) -> Optional[List[NodeClass]]:
+        """Node index -> tier, interleaved so each rack mixes tiers."""
+        if not self.spec.node_classes:
+            return None
+        out: List[NodeClass] = []
+        for klass in self.spec.node_classes:
+            out.extend([klass] * klass.count)
+        if len(out) > self.spec.n_datanodes:
+            raise ValueError(
+                f"node class counts ({len(out)}) exceed n_datanodes "
+                f"({self.spec.n_datanodes})"
+            )
+        while len(out) < self.spec.n_datanodes:
+            out.append(self.spec.node_classes[-1])
+        # Node ``i`` sits in rack ``i % n_racks``, so assigning the
+        # expanded class list in index order deals each tier across the
+        # racks like cards — no rack ends up single-tier.
+        return out
 
     def node(self, node_id: str) -> Node:
         return self._by_id[node_id]
@@ -67,17 +134,62 @@ class Cluster:
     def alive_nodes(self) -> List[Node]:
         return [n for n in self.nodes if n.is_alive]
 
+    # -- racks ---------------------------------------------------------------
+    def racks(self) -> List[int]:
+        """Distinct rack ids, ascending."""
+        return sorted({n.rack for n in self.nodes})
+
+    def nodes_in_rack(self, rack: int) -> List[Node]:
+        return [n for n in self.nodes if n.rack == rack]
+
+    def fail_rack(self, rack: int) -> List[str]:
+        """Correlated burst: every node sharing the rack/switch goes down."""
+        ids = [n.node_id for n in self.nodes_in_rack(rack) if n.is_alive]
+        for node_id in ids:
+            self.fail_node(node_id)
+        return ids
+
+    # -- tiers ---------------------------------------------------------------
+    def nodes_in_class(self, node_class: str) -> List[Node]:
+        return [n for n in self.nodes if n.node_class == node_class]
+
+    def disk_multiplier(self, node_id: str) -> float:
+        return self.spec.node_disk_multipliers.get(node_id, 1.0)
+
+    def net_multiplier(self, node_id: str) -> float:
+        return self.spec.node_net_multipliers.get(node_id, 1.0)
+
+    def set_disk_multiplier(self, node_id: str, multiplier: float) -> None:
+        """Mark a node's disk slow/fast (straggler injection hook)."""
+        self._by_id[node_id]  # validate the id
+        self.spec.node_disk_multipliers[node_id] = float(multiplier)
+
+    # -- failures ------------------------------------------------------------
     def fail_node(self, node_id: str) -> None:
         self._by_id[node_id].is_alive = False
 
     def recover_node(self, node_id: str) -> None:
         self._by_id[node_id].is_alive = True
 
-    def fail_fraction(self, fraction: float, rng) -> List[str]:
-        """Fail a random fraction of nodes (Fig 14d: 10% down)."""
-        count = max(1, int(round(fraction * len(self.nodes))))
-        victims = rng.choice(len(self.nodes), size=count, replace=False)
-        ids = [self.nodes[int(i)].node_id for i in victims]
+    def fail_fraction(self, fraction: float, rng, of_alive: bool = False) -> List[str]:
+        """Fail a random fraction of nodes (Fig 14d: 10% down).
+
+        Victims are sampled from the *alive* population only — repeated
+        calls always inject the requested number of NEW failures instead
+        of re-failing already-dead nodes (which silently under-injected).
+        ``fraction`` is of the total cluster size by default, matching
+        :meth:`FailureInjector.fail_fraction`; ``of_alive=True`` makes it
+        a fraction of the currently-alive population instead.
+        """
+        pool = self.alive_nodes()
+        base = len(pool) if of_alive else len(self.nodes)
+        count = max(1, int(round(fraction * base)))
+        if count > len(pool):
+            raise ValueError(
+                f"cannot fail {count} of {len(pool)} alive nodes"
+            )
+        victims = rng.choice(len(pool), size=count, replace=False)
+        ids = [pool[int(i)].node_id for i in victims]
         for node_id in ids:
             self.fail_node(node_id)
         return ids

@@ -32,6 +32,18 @@ class LifetimePhase(enum.Enum):
     FRIGID = "frigid"
 
 
+#: default phase -> storage-tier mapping for heterogeneous clusters:
+#: latency-sensitive phases live on the fast (ssd) tier, cold phases on
+#: the dense (hdd) tier. A homogeneous cluster simply has no nodes of
+#: either class and the preference is a no-op.
+DEFAULT_PHASE_TIERS = {
+    LifetimePhase.HOT: "ssd",
+    LifetimePhase.WARM: "ssd",
+    LifetimePhase.COOL: "hdd",
+    LifetimePhase.FRIGID: "hdd",
+}
+
+
 @dataclass(frozen=True)
 class LifetimeStage:
     """One stage of a file's life: from ``start_age`` onwards, use ``scheme``."""
@@ -63,6 +75,20 @@ class LifetimePolicy:
             else:
                 break
         return current
+
+    def phase_at(self, age: float) -> LifetimePhase:
+        """The lifetime phase a file of the given age is in."""
+        return self.stages[self.stage_index_at(age)].phase
+
+    def tier_at(self, age: float, tiers: dict = None) -> str:
+        """Preferred storage-tier (node class) for a file of this age.
+
+        ``tiers`` maps :class:`LifetimePhase` to a node-class name and
+        defaults to :data:`DEFAULT_PHASE_TIERS`. The result feeds
+        :attr:`PlacementPolicy.prefer_class`.
+        """
+        mapping = DEFAULT_PHASE_TIERS if tiers is None else tiers
+        return mapping.get(self.phase_at(age), "")
 
     def stage_index_at(self, age: float) -> int:
         idx = 0

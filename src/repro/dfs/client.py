@@ -37,6 +37,63 @@ class ClientReader:
 
     def __init__(self, fs):
         self.fs = fs
+        #: reads served from an alternative source because the primary
+        #: copy sat on a known-slow (straggler) node
+        self.hedged_reads = 0
+
+    # -- availability ------------------------------------------------------
+    def _reachable(self, node_id: str) -> bool:
+        return self.fs.partition.reachable(node_id, self.CLIENT)
+
+    def _chunk_available(self, chunk) -> bool:
+        """Live, holding the chunk, and on the client's partition side."""
+        datanode = self.fs.datanodes[chunk.node_id]
+        return (
+            datanode.is_alive
+            and datanode.has_chunk(chunk.chunk_id)
+            and self._reachable(chunk.node_id)
+        )
+
+    def _is_straggler(self, node_id: str) -> bool:
+        """A node whose disk multiplier crosses the hedge threshold."""
+        hedge = self.fs.hedge_slow_disk_multiplier
+        if hedge is None:
+            return False
+        return self.fs.cluster.disk_multiplier(node_id) >= hedge
+
+    def _count_hedge(self) -> None:
+        self.hedged_reads += 1
+        obs = self.fs.obs
+        if obs.enabled and obs.registry is not None:
+            obs.registry.counter("dfs_hedged_reads_total").inc()
+
+    def _has_fast_alternative(
+        self, meta: FileMeta, stripe: ECStripeMeta, stripe_first: int, local: int
+    ) -> bool:
+        """Can this data chunk be served without touching its slow home?
+
+        True when a replica copy sits on a fast reachable node, or the
+        stripe has k fast reachable survivors to decode from. Hedging
+        never makes a read *fail*: with no fast source, the slow home
+        copy serves as usual.
+        """
+        if meta.replica_blocks:
+            block = self._block_covering(meta, (stripe_first + local) * meta.chunk_size)
+            if block is not None:
+                for copy in block.copies:
+                    if self._chunk_available(copy) and not self._is_straggler(
+                        copy.node_id
+                    ):
+                        return True
+        fast = 0
+        for idx, chunk in enumerate(stripe.all_chunks()):
+            if idx == local:
+                continue
+            if self._chunk_available(chunk) and not self._is_straggler(chunk.node_id):
+                fast += 1
+                if fast >= stripe.k:
+                    return True
+        return False
 
     # -- public ------------------------------------------------------------
     def read(
@@ -96,11 +153,23 @@ class ClientReader:
     def _read_replica_block(
         self, block: ReplicaBlockMeta, start: int, length: int
     ) -> Optional[np.ndarray]:
-        for copy in block.copies:
-            datanode = self.fs.datanodes[copy.node_id]
-            if not datanode.is_alive or not datanode.has_chunk(copy.chunk_id):
+        # Hedged ordering: prefer copies on fast nodes; a copy on a
+        # straggler disk serves only when no fast copy is available.
+        ranked = sorted(
+            enumerate(block.copies),
+            key=lambda pair: (self._is_straggler(pair[1].node_id), pair[0]),
+        )
+        for index, copy in ranked:
+            if not self._chunk_available(copy):
                 continue
-            piece = datanode.read_range(copy.chunk_id, start, length, at=self.fs.clock)
+            if index != 0 and self._chunk_available(block.copies[0]) and self._is_straggler(
+                block.copies[0].node_id
+            ):
+                # The primary copy was readable but slow — this read hedged.
+                self._count_hedge()
+            piece = self.fs.datanodes[copy.node_id].read_range(
+                copy.chunk_id, start, length, at=self.fs.clock
+            )
             self.fs.metrics.record_transfer(
                 copy.node_id, self.CLIENT, float(length), at=self.fs.clock, tag="read"
             )
@@ -160,7 +229,14 @@ class ClientReader:
         for local in locals_needed:
             chunk = stripe.data[local]
             datanode = self.fs.datanodes[chunk.node_id]
-            if datanode.is_alive and datanode.has_chunk(chunk.chunk_id):
+            hedge_away = self._chunk_available(chunk) and self._is_straggler(
+                chunk.node_id
+            ) and self._has_fast_alternative(meta, stripe, stripe_first, local)
+            if hedge_away:
+                # The home copy works but sits on a straggler disk and a
+                # fast source exists: skip it (replica or decode below).
+                self._count_hedge()
+            elif self._chunk_available(chunk):
                 data = datanode.read(chunk.chunk_id, at=self.fs.clock)
                 self.fs.metrics.record_transfer(
                     chunk.node_id, self.CLIENT, float(data.nbytes), at=self.fs.clock, tag="read"
@@ -199,12 +275,18 @@ class ClientReader:
             chunks = stripe.all_chunks()
             missing_set = set(missing)
             available: Dict[int, np.ndarray] = {}
-            for idx in range(len(chunks)):
+            # Survivors on fast disks are preferred; stragglers only fill
+            # in when fewer than k fast survivors exist.
+            order = sorted(
+                range(len(chunks)),
+                key=lambda i: (self._is_straggler(chunks[i].node_id), i),
+            )
+            for idx in order:
                 if idx in missing_set:
                     continue
                 chunk = chunks[idx]
                 datanode = self.fs.datanodes[chunk.node_id]
-                if datanode.is_alive and datanode.has_chunk(chunk.chunk_id):
+                if self._chunk_available(chunk):
                     data = datanode.read(chunk.chunk_id, at=self.fs.clock)
                     self.fs.metrics.record_transfer(
                         chunk.node_id,
@@ -243,7 +325,7 @@ class ClientReader:
         def try_fetch(idx: int, available: Dict[int, np.ndarray]) -> bool:
             chunk = chunks[idx]
             datanode = self.fs.datanodes[chunk.node_id]
-            if datanode.is_alive and datanode.has_chunk(chunk.chunk_id):
+            if self._chunk_available(chunk):
                 data = datanode.read(chunk.chunk_id, at=self.fs.clock)
                 self.fs.metrics.record_transfer(
                     chunk.node_id,
@@ -264,7 +346,11 @@ class ClientReader:
                 recovered = code.decode(available, [local])
                 self.fs.charge_client_decode(code, meta.chunk_size, width=len(peers))
                 return recovered[local]
-        for idx in range(len(chunks)):
+        scan = sorted(
+            range(len(chunks)),
+            key=lambda i: (self._is_straggler(chunks[i].node_id), i),
+        )
+        for idx in scan:
             if idx == local or idx in available:
                 continue
             if try_fetch(idx, available):

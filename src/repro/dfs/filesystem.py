@@ -85,6 +85,23 @@ class _BaseDFS:
         self.namenode = namenode if namenode is not None else Namenode()
         self.checksums = ChecksumRegistry()
         self.planner = TranscodePlanner()
+        #: network partition mask (inactive by default): heartbeats and
+        #: the read/repair transfer paths consult it, so a split cluster
+        #: behaves like one — minority-side chunks are unreachable until
+        #: the partition heals.
+        from repro.cluster.partition import NetworkPartition
+
+        self.partition = NetworkPartition()
+        #: hedged degraded reads: when a chunk's home node carries a disk
+        #: multiplier at or above this threshold (a known straggler), the
+        #: reader skips it and serves the chunk from a replica or a
+        #: degraded decode instead of waiting out the slow disk.
+        #: ``None`` disables hedging.
+        self.hedge_slow_disk_multiplier: Optional[float] = None
+        #: node class (tier) preferred for new placements — e.g. "ssd"
+        #: on a heterogeneous cluster; None = no preference. Flows into
+        #: every placement policy this filesystem constructs.
+        self.placement_prefer_class: Optional[str] = None
         self.reader = ClientReader(self)
         #: unified background-maintenance control plane: repairs,
         #: transcode work and scrubs all flow through here
@@ -150,6 +167,12 @@ class _BaseDFS:
 
     def charge_node_encode(self, node_id: str, width: int, out_parities: int, nbytes: float) -> None:
         self.metrics.record_cpu(node_id, self.encode_cpu_seconds(width, out_parities, nbytes))
+
+    # -- reachability ----------------------------------------------------------
+    def node_reachable(self, node_id: str, endpoint: str = CLIENT) -> bool:
+        """Can ``endpoint`` (a node id, ``client`` or ``namenode``) reach
+        the node through the current partition mask?"""
+        return self.partition.reachable(node_id, endpoint)
 
     # -- common operations -------------------------------------------------------
     def read_file(
@@ -254,6 +277,7 @@ class _BaseDFS:
 
     def _write_replicated(self, meta: FileMeta, data: np.ndarray, copies: int) -> None:
         placement = DefaultPlacement(self.cluster, seed=self.seed + zlib.crc32(meta.name.encode()) % 997)
+        placement.prefer_class = self.placement_prefer_class
         span = self.replication_block_chunks * self.chunk_size
         block_index = 0
         for start in range(0, max(len(data), 1), span):
@@ -274,6 +298,7 @@ class _BaseDFS:
     def _write_ec(self, meta: FileMeta, data: np.ndarray, ec: ECScheme) -> None:
         """Client-driven EC write: encode locally, fan chunks out."""
         placement = DefaultPlacement(self.cluster, seed=self.seed + zlib.crc32(meta.name.encode()) % 997)
+        placement.prefer_class = self.placement_prefer_class
         code = self.codec_for(ec)
         chunks = self._data_chunks(data, ec.k)
         stripe_lists = [chunks[s : s + ec.k] for s in range(0, len(chunks), ec.k)]
@@ -419,6 +444,10 @@ class MorphFS(AppendSupport, _BaseDFS):
 
     # -- placement ------------------------------------------------------------
     def _placement_for(self, name: str, ec: ECScheme) -> TranscodeAwarePlacement:
+        if name in self._placements:
+            # Keep the cached policy's tier preference in sync — the knob
+            # may change between writes (e.g. as a file cools).
+            self._placements[name].prefer_class = self.placement_prefer_class
         if name not in self._placements:
             from repro.core.schemes import lcm_of_widths
 
@@ -429,6 +458,7 @@ class MorphFS(AppendSupport, _BaseDFS):
                     self.cluster,
                     seed=self.seed + zlib.crc32(name.encode()) % 997,
                 )
+                self._placements[name].prefer_class = self.placement_prefer_class
                 return self._placements[name]
 
             widths = [ec.k] + [w for w in self.future_widths]
@@ -442,6 +472,7 @@ class MorphFS(AppendSupport, _BaseDFS):
             self._placements[name] = TranscodeAwarePlacement(
                 self.cluster, k_star, r_star, seed=self.seed + zlib.crc32(name.encode()) % 997
             )
+            self._placements[name].prefer_class = self.placement_prefer_class
         return self._placements[name]
 
     # -- writes -----------------------------------------------------------------

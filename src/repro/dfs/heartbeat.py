@@ -46,6 +46,13 @@ class HeartbeatConfig:
     scrub_every_ticks: int = 0
     #: ATQ groups polled into the scheduler per heartbeat (§6.2)
     max_transcode_groups_per_tick: int = 8
+    #: re-enumerate lost chunks on declared-dead nodes every this many
+    #: ticks even without a new death (0 = only on ``newly_dead``).
+    #: This is what requeues a repair that dead-lettered: the buried
+    #: task is out of the pending queue, so the periodic sweep submits a
+    #: fresh one with a clean retry budget — a lost chunk is never
+    #: abandoned while its node stays dead.
+    repair_resubmit_every_ticks: int = 4
 
 
 @dataclass
@@ -55,6 +62,8 @@ class TickReport:
     tick: int
     newly_dead: List[str] = field(default_factory=list)
     newly_alive: List[str] = field(default_factory=list)
+    #: queued repairs cancelled because their node returned intact
+    repairs_cancelled: int = 0
     chunks_recovered: int = 0
     transcode_groups_run: int = 0
     chunks_scrubbed: int = 0
@@ -70,14 +79,27 @@ class HeartbeatMonitor:
         self.fs = fs
         self.config = config or HeartbeatConfig()
         self.tick_count = 0
+        #: consecutive missed beats per node — seeded with the datanodes
+        #: known now, but ``tick`` tolerates later registrations (the map
+        #: is not a construction-time snapshot)
         self._missed: Dict[str, int] = {n: 0 for n in fs.datanodes}
         self._declared_dead: Set[str] = set()
 
     # -- health bookkeeping ----------------------------------------------------
     def _collect_beats(self) -> Set[str]:
-        """Nodes that respond this round (alive datanodes beat)."""
+        """Nodes that respond this round.
+
+        A beat needs a live datanode *and* a network path to the
+        namenode — a node on the wrong side of a partition is
+        indistinguishable from a dead one, which is exactly how real
+        namenodes experience partitions.
+        """
+        partition = getattr(self.fs, "partition", None)
         return {
-            node_id for node_id, dn in self.fs.datanodes.items() if dn.is_alive
+            node_id
+            for node_id, dn in self.fs.datanodes.items()
+            if dn.is_alive
+            and (partition is None or partition.reachable(node_id, "namenode"))
         }
 
     def declared_dead(self) -> Set[str]:
@@ -91,7 +113,7 @@ class HeartbeatMonitor:
 
         scheduler = self.fs.scheduler
         submitted = 0
-        for meta, chunk in RecoveryManager(self.fs).lost_chunks():
+        for meta, chunk in RecoveryManager(self.fs).lost_chunks(self._declared_dead):
             if chunk.node_id not in self._declared_dead:
                 continue  # transient blips never trigger IO storms
             pending = scheduler.queue.find(
@@ -104,6 +126,33 @@ class HeartbeatMonitor:
             )
             submitted += 1
         return submitted
+
+    def _cancel_stale_repairs(self, returned: List[str]) -> int:
+        """Drop queued repairs for chunks a returning node still holds.
+
+        Only tasks whose chunk is physically present on the returned node
+        are cancelled; a chunk that was re-homed while the node was away
+        keeps its pending repair.
+        """
+        returned_set = set(returned)
+        queue = self.fs.scheduler.queue
+        cancelled = 0
+        for task in queue.backlog():
+            if not isinstance(task, ChunkRepairTask):
+                continue
+            node_id = task.chunk.node_id
+            if node_id not in returned_set:
+                continue
+            datanode = self.fs.datanodes.get(node_id)
+            if (
+                datanode is not None
+                and datanode.is_alive
+                and datanode.has_chunk(task.chunk.chunk_id)
+            ):
+                queue.remove(task)
+                task.result = "cancelled"
+                cancelled += 1
+        return cancelled
 
     def _submit_transcode_work(self) -> None:
         """Poll the ATQ (bounded) and keep a finalize task per UTM file."""
@@ -130,22 +179,38 @@ class HeartbeatMonitor:
         report = TickReport(tick=self.tick_count)
         beats = self._collect_beats()
         for node_id in self.fs.datanodes:
+            # ``.get`` covers datanodes registered after the monitor was
+            # constructed — the miss map is not a construction-time
+            # snapshot of the cluster.
             if node_id in beats:
                 if node_id in self._declared_dead:
                     self._declared_dead.discard(node_id)
                     report.newly_alive.append(node_id)
                 self._missed[node_id] = 0
             else:
-                self._missed[node_id] += 1
+                missed = self._missed.get(node_id, 0) + 1
+                self._missed[node_id] = missed
                 if (
-                    self._missed[node_id] >= self.config.dead_after_missed
+                    missed >= self.config.dead_after_missed
                     and node_id not in self._declared_dead
                 ):
                     self._declared_dead.add(node_id)
                     report.newly_dead.append(node_id)
+        # A returning node makes queued repairs for its still-present
+        # chunks stale; drop them before they waste budget.
+        if report.newly_alive:
+            report.repairs_cancelled = self._cancel_stale_repairs(
+                report.newly_alive
+            )
         # Reconstruction only starts once the Namenode *declares* a node
         # dead — and goes through the scheduler's priority/budget gate.
-        if recover and report.newly_dead:
+        # The periodic resweep keeps dead-lettered repairs from orphaning
+        # their chunks: still-lost chunks are resubmitted as fresh tasks.
+        resubmit = self.config.repair_resubmit_every_ticks and (
+            self._declared_dead
+            and self.tick_count % self.config.repair_resubmit_every_ticks == 0
+        )
+        if recover and (report.newly_dead or resubmit):
             self._submit_repairs()
         # ATQ draining: bounded intake per heartbeat (§6.2). Only Morph
         # has a native transcoder; the baseline transcodes client-side.

@@ -36,8 +36,15 @@ class RecoveryManager:
         self.fs = fs
 
     # -- detection -------------------------------------------------------------
-    def lost_chunks(self) -> List[Tuple[FileMeta, ChunkMeta]]:
+    def lost_chunks(
+        self, declared_dead: Optional[set] = None
+    ) -> List[Tuple[FileMeta, ChunkMeta]]:
         """All (file, chunk) pairs homed on dead nodes.
+
+        ``declared_dead`` extends the physical view with the namenode's
+        verdict: a node the heartbeat monitor declared dead counts as
+        lost even when its process is technically alive — which is how a
+        partitioned island's chunks get re-homed on the reachable side.
 
         Node-major via the namenode's per-node chunk index: cost scales
         with the dead nodes' populations, not the whole namespace.  The
@@ -46,24 +53,25 @@ class RecoveryManager:
         unchanged from the full-scan implementation.
         """
         namenode = self.fs.namenode
-        dead = [
+        dead = {
             node_id
             for node_id, datanode in self.fs.datanodes.items()
             if not datanode.is_alive
-        ]
+        }
+        if declared_dead:
+            dead |= set(declared_dead)
         if not dead:
             return []
         candidates: Dict[str, None] = {}
-        for node_id in dead:
+        for node_id in sorted(dead):
             for meta, _chunk in namenode.chunks_on_node(node_id):
                 candidates[meta.name] = None
         order = namenode._file_order
         out: List[Tuple[FileMeta, ChunkMeta]] = []
-        datanodes = self.fs.datanodes
         for name in sorted(candidates, key=lambda n: order.get(n, 0)):
             meta = namenode.files[name]
             for chunk in meta.all_chunks():
-                if not datanodes[chunk.node_id].is_alive:
+                if chunk.node_id in dead:
                     out.append((meta, chunk))
         return out
 
@@ -137,11 +145,17 @@ class RecoveryManager:
         occupied = {c.node_id for c in meta.all_chunks() if c is not chunk}
         if extra_occupied:
             occupied |= extra_occupied
-        for node in self.fs.cluster.alive_nodes():
+        # Only namenode-reachable nodes accept rebuilt chunks: a node on
+        # the minority side of a partition can't be commanded anyway.
+        alive = [
+            node
+            for node in self.fs.cluster.alive_nodes()
+            if self.fs.partition.reachable(node.node_id, "namenode")
+        ]
+        for node in alive:
             if node.node_id not in occupied:
                 return node.node_id
         # Degenerate small clusters: allow reuse of a live node.
-        alive = self.fs.cluster.alive_nodes()
         if not alive:
             raise RecoveryError("no live nodes to rebuild onto")
         return alive[0].node_id
@@ -257,6 +271,10 @@ class RecoveryManager:
         datanode = self.fs.datanodes[src.node_id]
         if not datanode.is_alive or not datanode.has_chunk(src.chunk_id):
             return None
+        # Reconstruction never sources bytes across a partition cut: the
+        # source must reach the rebuilding node.
+        if not self.fs.partition.reachable(src.node_id, target):
+            return None
         data = datanode.read(src.chunk_id, at=self.fs.clock)
         self.fs.metrics.record_transfer(
             src.node_id, target, float(data.nbytes), at=self.fs.clock, tag="repair"
@@ -329,7 +347,11 @@ class RecoveryManager:
                 start = (chunk_index - block.first_chunk) * meta.chunk_size
                 for copy in block.copies:
                     datanode = self.fs.datanodes[copy.node_id]
-                    if datanode.is_alive and datanode.has_chunk(copy.chunk_id):
+                    if (
+                        datanode.is_alive
+                        and datanode.has_chunk(copy.chunk_id)
+                        and self.fs.partition.reachable(copy.node_id, target)
+                    ):
                         data = datanode.read_range(
                             copy.chunk_id, start, meta.chunk_size, at=self.fs.clock
                         )

@@ -353,6 +353,15 @@ def render_report(fs) -> str:
         f"cpu {registry.value('dfs_cpu_seconds'):.3f} s, "
         f"capacity {cap / KB:.0f} KB"
     )
+    try:
+        hedged = registry.value("dfs_hedged_reads_total")
+    except KeyError:
+        hedged = 0.0
+    if hedged:
+        lines.append(
+            f"Hedged reads: {hedged:.0f} served from an alternative source "
+            "(slow-disk avoidance)"
+        )
     spans = fs.obs.tracer.finished
     lines.append(f"Spans recorded: {len(spans)} (dropped {fs.obs.tracer.dropped})")
     return "\n".join(lines)

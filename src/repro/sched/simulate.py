@@ -49,6 +49,17 @@ class SimConfig:
     budget_disk_bytes_per_tick: float = 16e6
     duration_s: float = 30.0
     seed: int = 0
+    #: per-node disk service-time multipliers (node id -> factor); nodes
+    #: not listed run at 1.0. A straggler disk has a factor >> 1.
+    node_disk_multipliers: Dict[str, float] = field(default_factory=dict)
+    #: hedged foreground reads: when a read's primary lands on a node
+    #: with multiplier > 1 and hasn't completed after this many seconds,
+    #: a backup read races it on a fast node (None = hedging off). The
+    #: loser still occupies its disk — hedges consume real resources.
+    hedge_after_s: Optional[float] = None
+
+    def disk_multiplier(self, node_id: str) -> float:
+        return self.node_disk_multipliers.get(node_id, 1.0)
 
 
 @dataclass
@@ -61,6 +72,8 @@ class SimResult:
     repairs_completed: int
     n_repairs: int
     ticks: int
+    #: backup reads launched by the hedging policy
+    hedged_reads: int = 0
     #: admitted maintenance disk bytes per (node, tick) — the budget
     #: invariant is ``max(values) <= budget``
     node_tick_disk_bytes: Dict[Tuple[str, int], float] = field(default_factory=dict)
@@ -114,25 +127,45 @@ def run_failure_burst(
 
     latencies: List[float] = []
     repairs_done = {"n": 0}
+    hedges = {"n": 0}
     node_tick_bytes: Dict[Tuple[str, int], float] = defaultdict(float)
+
+    def service_s(node_id: str, nbytes: float) -> float:
+        return nbytes / cfg.disk_bw_bytes_per_s * cfg.disk_multiplier(node_id)
 
     def occupy_disk(node_id: str, nbytes: float, on_done=None):
         req = disks[node_id].request()
         yield req
-        yield env.timeout(nbytes / cfg.disk_bw_bytes_per_s)
+        yield env.timeout(service_s(node_id, nbytes))
         disks[node_id].release(req)
         if on_done is not None:
             on_done()
 
     def one_read():
         start = env.now
-        node_id = rng.choice(node_ids)
-        req = disks[node_id].request()
-        yield req
-        yield env.timeout(cfg.read_bytes / cfg.disk_bw_bytes_per_s)
-        disks[node_id].release(req)
-        latency = env.now - start
-        latencies.append(latency)
+        primary = rng.choice(node_ids)
+        state = {"done": False}
+
+        def leg(node_id):
+            req = disks[node_id].request()
+            yield req
+            yield env.timeout(service_s(node_id, cfg.read_bytes))
+            disks[node_id].release(req)
+            if not state["done"]:
+                state["done"] = True
+                latencies.append(env.now - start)
+
+        env.process(leg(primary))
+        if cfg.hedge_after_s is not None and cfg.disk_multiplier(primary) > 1.0:
+            # Straggler primary: give it a grace period, then race a
+            # backup replica read on a fast node. First leg to finish
+            # records the latency; the loser still drains its disk.
+            yield env.timeout(cfg.hedge_after_s)
+            if not state["done"]:
+                fast = [n for n in node_ids if cfg.disk_multiplier(n) <= 1.0]
+                backup = rng.choice(fast or node_ids)
+                hedges["n"] += 1
+                env.process(leg(backup))
 
     def foreground():
         while True:
@@ -195,6 +228,7 @@ def run_failure_burst(
         repairs_completed=repairs_done["n"],
         n_repairs=cfg.n_repairs,
         ticks=sched.tick_count,
+        hedged_reads=hedges["n"],
         node_tick_disk_bytes=dict(node_tick_bytes),
         latency_hist=latency_hist,
         registry=registry,

@@ -134,10 +134,12 @@ class ChunkRepairTask(MaintenanceTask):
 
     def execute(self, fs):
         datanode = fs.datanodes.get(self.chunk.node_id)
+        partition = getattr(fs, "partition", None)
         if (
             datanode is not None
             and datanode.is_alive
             and datanode.has_chunk(self.chunk.chunk_id)
+            and (partition is None or partition.reachable(self.chunk.node_id, "namenode"))
         ):
             return "skipped"  # node returned (or another task repaired it)
         if fs.namenode.files.get(self.meta.name) is not self.meta:
